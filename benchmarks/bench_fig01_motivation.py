@@ -1,0 +1,35 @@
+"""Figure 1: off-chip memory access overhead on the baseline machine.
+
+Regenerates (a) the fraction of execution attributable to the off-chip
+path (network + DRAM) and (b) the energy decomposition, for all 21
+workloads on ``L1-SRAM``.  The paper reports 75% of execution time and
+71% of energy, on average, spent on the off-chip path.
+"""
+
+from benchmarks.common import emit, fermi_runner, rows_to_table
+from repro.harness.experiments import fig1_motivation
+from repro.harness.report import gmean
+
+
+def test_fig01_motivation(benchmark):
+    runner = fermi_runner()
+    rows = benchmark.pedantic(
+        lambda: fig1_motivation(runner), rounds=1, iterations=1
+    )
+    table = rows_to_table(
+        rows,
+        columns=[
+            "offchip_time_fraction", "network_share", "dram_share",
+            "energy_offchip_fraction", "energy_l1d_fraction",
+            "energy_compute_fraction",
+        ],
+        title="Figure 1: off-chip time and energy decomposition (L1-SRAM)",
+    )
+    emit("fig01_motivation", table)
+
+    mean_time = gmean(
+        max(r["offchip_time_fraction"], 1e-3) for r in rows
+    )
+    # the motivation figure's core claim: the off-chip path dominates
+    assert mean_time > 0.4
+    assert all(0.0 <= r["offchip_time_fraction"] <= 1.0 for r in rows)

@@ -1,0 +1,30 @@
+"""Figure 3: Vanilla vs pure STT-MRAM vs Oracle L1D.
+
+The Oracle (unbounded capacity) must cut the miss rate and raise IPC
+versus the GTX480-like Vanilla cache; pure STT-MRAM lands in between
+because its 4x capacity still thrashes and its writes are slow.
+"""
+
+from benchmarks.common import emit, fermi_runner, rows_to_table
+from repro.harness.experiments import fig3_oracle
+
+
+def test_fig03_oracle(benchmark):
+    runner = fermi_runner()
+    rows = benchmark.pedantic(
+        lambda: fig3_oracle(runner), rounds=1, iterations=1
+    )
+    table = rows_to_table(
+        rows,
+        columns=[
+            "Vanilla_miss", "STT-MRAM_miss", "Oracle_miss",
+            "Vanilla_ipc_norm", "STT-MRAM_ipc_norm", "Oracle_ipc_norm",
+        ],
+        title="Figure 3: L1D miss rate and normalized IPC "
+              "(Vanilla / STT-MRAM / Oracle)",
+    )
+    emit("fig03_oracle", table)
+
+    for row in rows:
+        assert row["Oracle_miss"] <= row["Vanilla_miss"] + 1e-9
+        assert row["Oracle_ipc_norm"] >= 0.95

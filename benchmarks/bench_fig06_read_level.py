@@ -1,0 +1,33 @@
+"""Figure 6: read-level analysis of every workload's block population.
+
+Pure trace analysis (no cache model): classify each touched 128-byte
+block as WM / read-intensive / WORM / WORO.  The paper observes that
+around 80-90% of blocks are WORM on average, with PVC/PVR/SS carrying
+visible write-multiple shares.
+"""
+
+from benchmarks.common import BENCH_SMS, emit, rows_to_table
+from repro.harness.experiments import fig6_read_level
+
+
+def test_fig06_read_level(benchmark):
+    # trace analysis needs no simulator, only the kernel models
+    rows = benchmark.pedantic(
+        lambda: fig6_read_level(num_sms=min(BENCH_SMS, 4), warps_per_sm=8),
+        rounds=1,
+        iterations=1,
+    )
+    table = rows_to_table(
+        rows,
+        columns=["WM", "read-intensive", "WORM", "WORO", "blocks"],
+        title="Figure 6: read-level block mix per workload",
+    )
+    emit("fig06_read_level", table)
+
+    for row in rows:
+        total = sum(row[c] for c in ("WM", "read-intensive", "WORM", "WORO"))
+        assert abs(total - 1.0) < 1e-9
+    # the paper's central observation: the WORM(+WORO read-once) class
+    # dominates the block population on average
+    mean_worm = sum(r["WORM"] + r["WORO"] for r in rows) / len(rows)
+    assert mean_worm > 0.5

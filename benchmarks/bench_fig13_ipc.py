@@ -1,0 +1,31 @@
+"""Figure 13: normalized IPC of the seven L1D configurations.
+
+The headline result: the FUSE family beats the SRAM baseline on average,
+with Dy-FUSE on top (the paper reports a 217% average gain at full
+scale), Hybrid *below* the baseline (blocking STT writes), and the
+ladder Hybrid < Base-FUSE < FA-FUSE < Dy-FUSE on the geometric mean.
+"""
+
+from benchmarks.common import emit, fermi_runner, rows_to_table
+from repro.harness.experiments import MAIN_CONFIGS, fig13_ipc
+
+
+def test_fig13_ipc(benchmark):
+    runner = fermi_runner()
+    rows = benchmark.pedantic(
+        lambda: fig13_ipc(runner), rounds=1, iterations=1
+    )
+    table = rows_to_table(
+        rows,
+        columns=MAIN_CONFIGS,
+        title="Figure 13: IPC normalized to L1-SRAM",
+    )
+    emit("fig13_ipc", table)
+
+    gmeans = rows[-1]
+    assert gmeans["workload"] == "GMEANS"
+    # who-wins shape: Dy-FUSE leads the FUSE ladder...
+    assert gmeans["Dy-FUSE"] >= gmeans["Base-FUSE"] * 0.95
+    assert gmeans["Dy-FUSE"] >= gmeans["Hybrid"]
+    # ...and the full FUSE design beats the baseline on average
+    assert gmeans["Dy-FUSE"] > 1.0

@@ -1,0 +1,30 @@
+"""Figure 14: L1D miss rates of the seven configurations.
+
+L1-SRAM posts the highest miss rate in most workloads (limited capacity
+plus conflicts); the larger heterogeneous caches cut it; FA-FUSE's
+fully-associative STT bank repairs the irregular column-walk conflicts.
+"""
+
+from benchmarks.common import emit, fermi_runner, rows_to_table
+from repro.harness.experiments import MAIN_CONFIGS, fig14_miss_rate
+
+
+def test_fig14_miss_rate(benchmark):
+    runner = fermi_runner()
+    rows = benchmark.pedantic(
+        lambda: fig14_miss_rate(runner), rounds=1, iterations=1
+    )
+    table = rows_to_table(
+        rows,
+        columns=MAIN_CONFIGS,
+        title="Figure 14: L1D miss rate per configuration",
+    )
+    emit("fig14_missrate", table)
+
+    gmeans = rows[-1]
+    # the hybrid/FUSE caches see fewer misses than the 32KB SRAM baseline
+    assert gmeans["FA-FUSE"] < gmeans["L1-SRAM"]
+    assert gmeans["Dy-FUSE"] < gmeans["L1-SRAM"]
+    for row in rows[:-1]:
+        for config in MAIN_CONFIGS:
+            assert 0.0 <= row[config] <= 1.0

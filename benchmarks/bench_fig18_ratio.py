@@ -1,0 +1,35 @@
+"""Figure 18: SRAM:STT-MRAM area-ratio sensitivity sweep.
+
+Sweeps 1/16, 1/8, 1/4, 1/2 and 3/4 of the area budget as SRAM.  The
+paper identifies 1/2 (16 KB SRAM + 64 KB STT) as the sweet spot: more
+SRAM shrinks total capacity; less SRAM can no longer absorb the
+write-multiple blocks.
+"""
+
+from benchmarks.common import emit, fermi_runner, rows_to_table
+from repro.harness.experiments import fig18_ratio_sweep
+from repro.harness.report import gmean
+
+RATIOS = ["1/16", "1/8", "1/4", "1/2", "3/4"]
+
+
+def test_fig18_ratio_sweep(benchmark):
+    runner = fermi_runner()
+    rows = benchmark.pedantic(
+        lambda: fig18_ratio_sweep(runner), rounds=1, iterations=1
+    )
+    table = rows_to_table(
+        rows,
+        columns=[f"ipc_{r}" for r in RATIOS] + [f"miss_{r}" for r in RATIOS],
+        title="Figure 18: SRAM:STT ratio sweep (IPC normalized to 1/16)",
+    )
+    emit("fig18_ratio", table)
+
+    # the paper's chosen 1/2 split should be competitive with every
+    # other ratio on the geometric mean
+    means = {
+        ratio: gmean(max(row[f"ipc_{ratio}"], 1e-3) for row in rows)
+        for ratio in RATIOS
+    }
+    best = max(means.values())
+    assert means["1/2"] >= best * 0.85

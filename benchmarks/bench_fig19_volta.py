@@ -1,0 +1,36 @@
+"""Figure 19: the configuration ladder on a Volta-class machine.
+
+Every L1D organisation scales to Volta's 128 KB reconfigurable L1
+budget (By-NVM becomes 512 KB, FUSE becomes 64 KB + 256 KB).  The paper
+reports Base-FUSE / FA-FUSE / Dy-FUSE at +35% / +82% / +96% over
+L1-SRAM on this machine.  The SM count is trimmed for pure-Python
+runtime (see benchmarks/common.py); the figure's normalized-IPC
+comparison is SM-count invariant.
+"""
+
+from benchmarks.common import emit, rows_to_table, volta_runner
+from repro.harness.experiments import fig19_volta
+from repro.harness.report import gmean
+
+CONFIGS = ["L1-SRAM", "By-NVM", "Hybrid", "Base-FUSE", "FA-FUSE", "Dy-FUSE"]
+
+
+def test_fig19_volta(benchmark):
+    runner = volta_runner()
+    rows = benchmark.pedantic(
+        lambda: fig19_volta(runner), rounds=1, iterations=1
+    )
+    table = rows_to_table(
+        rows,
+        columns=CONFIGS,
+        title="Figure 19: normalized IPC on the Volta-class machine",
+    )
+    emit("fig19_volta", table)
+
+    means = {
+        config: gmean(max(row[config], 1e-3) for row in rows)
+        for config in CONFIGS
+    }
+    # shape: the full FUSE design still leads on the bigger machine
+    assert means["Dy-FUSE"] >= means["Hybrid"]
+    assert means["Dy-FUSE"] > 0.9

@@ -1,0 +1,51 @@
+"""Table I: the simulated machine and L1D configurations.
+
+Prints the configuration matrix the simulations run under, next to the
+paper's values, so EXPERIMENTS.md has a verifiable config provenance.
+"""
+
+from benchmarks.common import emit, fermi_runner
+from repro.core.factory import known_configs, l1d_config
+from repro.harness.report import format_table
+
+
+def test_table1_config(benchmark):
+    runner = fermi_runner()
+
+    def collect():
+        machine = runner.config
+        rows = [
+            ["SMs", machine.num_sms, 15],
+            ["warps/SM (machine limit)", machine.warps_per_sm, 48],
+            ["threads/warp", machine.threads_per_warp, 32],
+            ["L2 banks", machine.l2_num_banks, 12],
+            ["L2 KB", machine.l2_num_banks * machine.l2_sets
+             * machine.l2_assoc * 128 // 1024, 768],
+            ["DRAM channels", machine.dram_channels, 6],
+            ["tCL/tRCD/tRAS (DRAM cycles)",
+             f"{machine.tCL}/{machine.tRCD}/{machine.tRAS}", "12/12/28"],
+        ]
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    table = format_table(
+        ["parameter", "simulated", "paper"], rows,
+        title="Table I: machine configuration",
+    )
+
+    config_rows = []
+    for name in known_configs():
+        cfg = l1d_config(name)
+        config_rows.append(
+            [name, cfg.sram_kb, cfg.stt_kb, cfg.kind, cfg.description]
+        )
+    table += "\n\n" + format_table(
+        ["config", "SRAM KB", "STT KB", "engine", "description"],
+        config_rows,
+        title="Table I: L1D configurations",
+    )
+    emit("table1_config", table)
+
+    cfg = l1d_config("Dy-FUSE")
+    assert cfg.sram_kb == 16 and cfg.stt_kb == 64
+    assert cfg.num_cbfs == 128 and cfg.cbf_hashes == 3

@@ -1,0 +1,37 @@
+"""Table III: transistor-count area estimation.
+
+Prints the analytic component counts for L1-SRAM and Dy-FUSE next to
+the paper's published numbers; Dy-FUSE must fit the same area budget
+(the paper reports <0.7% overhead).
+"""
+
+from benchmarks.common import emit
+from repro.energy.area import dy_fuse_area, l1_sram_area
+from repro.harness.report import format_table
+
+
+def test_table3_area(benchmark):
+    reports = benchmark.pedantic(
+        lambda: (l1_sram_area(), dy_fuse_area()), rounds=1, iterations=1
+    )
+    sram, fuse = reports
+
+    rows = []
+    for report in reports:
+        for component, devices in report.components.items():
+            rows.append([
+                report.name, component, devices,
+                report.paper_reference[component],
+            ])
+        rows.append([report.name, "TOTAL", report.total,
+                     sum(report.paper_reference.values())])
+    table = format_table(
+        ["config", "component", "computed", "paper"],
+        rows,
+        title="Table III: area estimation (device counts)",
+    )
+    emit("table3_area", table)
+
+    assert sram.components["data array"] == 1_572_864
+    assert fuse.components["data array"] == 1_572_864
+    assert abs(fuse.overhead_vs(sram)) < 0.05

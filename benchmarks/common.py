@@ -1,0 +1,59 @@
+"""Shared infrastructure for the figure-reproduction bench targets.
+
+Every ``bench_*.py`` module regenerates one paper figure or table: it runs
+the required simulations through a process-wide memoised runner (so the
+Figures 13-17 family shares its 7x21 run matrix), prints the same
+rows/series the paper reports, and writes the table under
+``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  -- trace scale (``smoke``/``test``/``bench``,
+  default ``test``; ``bench`` is closer to the paper's regime but takes
+  several times longer).
+* ``REPRO_BENCH_SMS``    -- SMs for the Fermi-profile machine (default 15,
+  Table I's value).
+* ``REPRO_VOLTA_SMS``    -- SMs for the Figure 19 Volta machine (default
+  12; the paper's 84 SMs are intractable in pure Python, and the figure's
+  normalised-IPC comparison is SM-count invariant).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.harness.report import format_table
+from repro.harness.runner import Runner, default_runner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "test")
+BENCH_SMS = int(os.environ.get("REPRO_BENCH_SMS", "15"))
+VOLTA_SMS = int(os.environ.get("REPRO_VOLTA_SMS", "12"))
+
+
+def fermi_runner() -> Runner:
+    """The shared Fermi-profile runner (memoised across bench modules)."""
+    return default_runner("fermi", BENCH_SCALE, num_sms=BENCH_SMS)
+
+
+def volta_runner() -> Runner:
+    """The shared Volta-profile runner for Figure 19."""
+    return default_runner("volta", BENCH_SCALE, num_sms=VOLTA_SMS)
+
+
+def emit(name: str, table: str) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print()
+    print(table)
+    return table
+
+
+def rows_to_table(rows, columns, title, key="workload") -> str:
+    """Render a list-of-dicts experiment result as an aligned table."""
+    headers = [key] + list(columns)
+    body = [[row[key]] + [row.get(col, "") for col in columns] for row in rows]
+    return format_table(headers, body, title=title)

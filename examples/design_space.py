@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Design-space exploration: SRAM:STT area ratios and queue depths.
+
+Reproduces a compact version of the paper's Figure 18 sweep plus the
+tag-queue depth ablation, showing how to build custom ``L1DConfig``
+variants with ``ratio_config`` / ``with_overrides`` and run them through
+the shared harness.
+
+Usage::
+
+    python examples/design_space.py
+"""
+
+from fractions import Fraction
+
+from repro import Runner, l1d_config, ratio_config
+from repro.harness.report import format_table, gmean
+
+WORKLOADS = ["ATAX", "SYR2K", "2DCONV"]
+
+
+def sweep_ratios(runner: Runner) -> None:
+    rows = []
+    for fraction in (Fraction(1, 16), Fraction(1, 4), Fraction(1, 2),
+                     Fraction(3, 4)):
+        cfg = ratio_config(fraction)
+        ipcs = []
+        misses = []
+        for workload in WORKLOADS:
+            result = runner.run(cfg.name, workload, l1d=cfg)
+            ipcs.append(result.ipc)
+            misses.append(result.l1d_miss_rate)
+        rows.append([
+            str(fraction), f"{cfg.sram_kb}KB", f"{cfg.stt_kb}KB",
+            gmean(ipcs), sum(misses) / len(misses),
+        ])
+    print(format_table(
+        ["SRAM fraction", "SRAM", "STT", "gmean IPC", "mean miss"],
+        rows,
+        title="Figure 18-style ratio sweep",
+    ))
+
+
+def sweep_tag_queue(runner: Runner) -> None:
+    rows = []
+    for depth in (4, 16, 64):
+        cfg = l1d_config("Dy-FUSE").with_overrides(
+            name=f"Dy-FUSE-q{depth}", tag_queue_capacity=depth
+        )
+        ipcs = [
+            runner.run(cfg.name, w, l1d=cfg).ipc for w in WORKLOADS
+        ]
+        rows.append([depth, gmean(ipcs)])
+    print()
+    print(format_table(
+        ["tag-queue depth", "gmean IPC"], rows,
+        title="Tag-queue depth ablation (Table I uses 16)",
+    ))
+
+
+def main() -> None:
+    runner = Runner(gpu_profile="fermi", scale="test", num_sms=4)
+    sweep_ratios(runner)
+    sweep_tag_queue(runner)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Read-level predictor study: classification mix and accuracy.
+
+Drives the standalone read-level predictor (Section IV-B) with kernel
+traces -- no cache or timing involved -- and compares its per-PC
+classifications against the ground-truth read-level analysis of the
+same trace (Figure 6's methodology).
+
+Usage::
+
+    python examples/predictor_study.py [workload]
+"""
+
+import sys
+from collections import Counter
+
+from repro import ReadLevel, ReadLevelPredictor, benchmark
+from repro.cache.request import AccessType, MemoryRequest
+from repro.harness.report import format_table
+from repro.workloads.analysis import read_level_analysis
+from repro.workloads.trace import LOAD, STORE, TraceScale
+
+
+def drive_predictor(model) -> Counter:
+    """Feed every warp's trace through one predictor; classify PCs."""
+    predictor = ReadLevelPredictor()
+    pcs = set()
+    for sm_id in range(model.num_sms):
+        for warp_id in range(model.warps_per_sm):
+            for instr in model.warp_stream(sm_id, warp_id):
+                if instr.kind not in (LOAD, STORE):
+                    continue
+                pcs.add(instr.pc)
+                access = (
+                    AccessType.STORE if instr.kind == STORE
+                    else AccessType.LOAD
+                )
+                for block in instr.transactions:
+                    predictor.observe(MemoryRequest(
+                        address=block << 7, access_type=access,
+                        pc=instr.pc, warp_id=warp_id, sm_id=sm_id,
+                    ))
+    return Counter(predictor.predict(pc).value for pc in sorted(pcs))
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "ATAX"
+    scale = TraceScale(warps_per_sm=8, target_instructions=800)
+    model = benchmark(name, num_sms=2, warps_per_sm=8, scale=scale)
+
+    classified = drive_predictor(model)
+    truth = read_level_analysis(model)
+
+    print(format_table(
+        ["predicted level", "static PCs"],
+        sorted(classified.items()),
+        title=f"Predictor PC classification: {name}",
+    ))
+    print()
+    print(format_table(
+        ["ground-truth class", "block fraction"],
+        sorted(truth.block_fractions.items()),
+        title=f"Trace-level block mix (Figure 6 methodology): {name}",
+    ))
+    print()
+    levels = {level.value for level in ReadLevel}
+    print(f"levels: {sorted(levels)}; {truth.total_blocks} distinct blocks")
+
+
+if __name__ == "__main__":
+    main()

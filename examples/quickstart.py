@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: compare a FUSE L1D against the SRAM baseline.
+
+Runs one memory-intensive workload (ATAX, the paper's canonical
+irregular benchmark) on a small machine under three L1D organisations
+and prints IPC, miss rate and L1D energy side by side.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import Runner
+from repro.harness.report import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "ATAX"
+    # a 4-SM machine at test scale finishes in seconds
+    runner = Runner(gpu_profile="fermi", scale="test", num_sms=4)
+
+    configs = ["L1-SRAM", "By-NVM", "Dy-FUSE"]
+    rows = []
+    baseline_ipc = None
+    for config in configs:
+        result = runner.run(config, workload)
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        rows.append([
+            config,
+            result.ipc,
+            result.ipc / baseline_ipc,
+            result.l1d_miss_rate,
+            result.l1d.bypass_ratio,
+            result.energy.l1d_nj / 1000.0,
+        ])
+
+    print(format_table(
+        ["config", "IPC", "vs L1-SRAM", "L1D miss", "bypass", "L1D energy (uJ)"],
+        rows,
+        title=f"FUSE quickstart: {workload}",
+    ))
+    print()
+    print("Dy-FUSE fuses a 16KB SRAM bank with a 64KB approximated")
+    print("fully-associative STT-MRAM bank and places blocks by their")
+    print("predicted read level (WM->SRAM, WORM->STT-MRAM, WORO->L2).")
+
+
+if __name__ == "__main__":
+    main()

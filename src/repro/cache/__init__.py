@@ -1,0 +1,56 @@
+"""Generic cache substrate: tag arrays, replacement policies, MSHRs and the
+baseline L1D cache models the paper evaluates FUSE against.
+
+The modules in this package know nothing about STT-MRAM heterogeneity; they
+provide the building blocks (``TagArray``, ``MSHR``, ``BaseCache``) that both
+the baseline caches (``L1-SRAM``, ``FA-SRAM``, ``L1-NVM``, ``By-NVM``,
+``Oracle``) and the FUSE engine in :mod:`repro.core` are assembled from.
+"""
+
+from repro.cache.interface import (
+    AccessOutcome,
+    AccessResult,
+    FillResult,
+    L1DCacheModel,
+)
+from repro.cache.mshr import MSHR, MSHREntry
+from repro.cache.basecache import BaseCache
+from repro.cache.nvm_bypass import ByNVMCache, DeadWritePredictor
+from repro.cache.oracle import OracleCache
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PseudoLRUPolicy,
+    RandomPolicy,
+    make_replacement_policy,
+)
+from repro.cache.request import AccessType, MemoryRequest, block_address
+from repro.cache.sram_cache import make_fa_sram_cache, make_sram_cache
+from repro.cache.stats import CacheStats
+from repro.cache.tag_array import CacheLine, TagArray
+
+__all__ = [
+    "AccessOutcome",
+    "AccessResult",
+    "AccessType",
+    "BaseCache",
+    "ByNVMCache",
+    "CacheLine",
+    "CacheStats",
+    "DeadWritePredictor",
+    "FIFOPolicy",
+    "FillResult",
+    "L1DCacheModel",
+    "LRUPolicy",
+    "MSHR",
+    "MSHREntry",
+    "MemoryRequest",
+    "OracleCache",
+    "PseudoLRUPolicy",
+    "RandomPolicy",
+    "TagArray",
+    "block_address",
+    "make_fa_sram_cache",
+    "make_replacement_policy",
+    "make_sram_cache",
+]

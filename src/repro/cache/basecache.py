@@ -1,0 +1,197 @@
+"""A homogeneous non-blocking cache engine.
+
+``BaseCache`` implements the write-back, write-allocate, MSHR-backed cache
+the paper's baselines are built from.  The same engine models
+
+* ``L1-SRAM``  -- 32 KB, 64 sets x 4 ways, 1-cycle reads and writes,
+* ``FA-SRAM`` -- 32 KB, 1 set x 256 ways, LRU (idealised full associativity),
+* ``L1-NVM``  -- 128 KB pure STT-MRAM, 256 sets x 4 ways, 5-cycle writes
+  (Figure 3's "STT-MRAM GPU"),
+
+differing only in geometry and bank timing.  ``By-NVM`` (dead-write bypass)
+derives from it in :mod:`repro.cache.nvm_bypass`.
+
+Timing model
+------------
+The bank is a single served resource: an operation arriving at cycle ``c``
+starts at ``max(c, busy_until)`` and holds the bank for its *occupancy*.
+Reads are pipelined (occupancy 1); STT-MRAM writes occupy the bank for the
+full write latency, which is exactly the write-penalty mechanism the paper
+attributes pure-NVM slowdowns to.  Waiting time is recorded in
+``stats.bank_wait_cycles`` and, for NVM write occupancy, in
+``stats.stt_write_stall_cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.interface import (
+    AccessOutcome,
+    AccessResult,
+    FillResult,
+    L1DCacheModel,
+)
+from repro.cache.mshr import MSHR
+from repro.cache.request import MemoryRequest
+from repro.cache.tag_array import EvictedLine, TagArray
+
+
+class BaseCache(L1DCacheModel):
+    """Set-associative, write-back, write-allocate, non-blocking cache.
+
+    Args:
+        num_sets: sets in the tag array (power of two).
+        assoc: ways per set.
+        read_latency: cycles from bank start to data available.
+        write_latency: cycles a write needs; for STT-MRAM this is 5
+            (Table I: "1/5-cycle (W)").
+        read_occupancy: bank busy time per read (1 = fully pipelined).
+        write_occupancy: bank busy time per write; STT-MRAM writes block
+            the bank for the whole write (defaults to ``write_latency``).
+        replacement: replacement policy name.
+        mshr_entries / mshr_max_merge: MSHR geometry.
+        technology: ``"sram"`` or ``"stt"``; routes energy event counters.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        read_latency: int = 1,
+        write_latency: int = 1,
+        read_occupancy: int = 1,
+        write_occupancy: Optional[int] = None,
+        replacement: str = "lru",
+        mshr_entries: int = 32,
+        mshr_max_merge: int = 8,
+        technology: str = "sram",
+        name: str = "l1d",
+    ) -> None:
+        super().__init__()
+        if technology not in ("sram", "stt"):
+            raise ValueError("technology must be 'sram' or 'stt'")
+        self.name = name
+        self.tags = TagArray(num_sets, assoc, replacement)
+        self.mshr = MSHR(mshr_entries, mshr_max_merge)
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.read_occupancy = read_occupancy
+        self.write_occupancy = (
+            write_latency if write_occupancy is None else write_occupancy
+        )
+        self.technology = technology
+        self._busy_until = 0
+
+    # ------------------------------------------------------------------
+    # bank timing helpers
+    def _start_op(self, cycle: int) -> int:
+        """Cycle at which an op arriving at *cycle* gets the bank."""
+        start = max(cycle, self._busy_until)
+        wait = start - cycle
+        if wait:
+            self.stats.bank_wait_cycles += wait
+            if self.technology == "stt":
+                # waiting behind long NVM writes is the Figure 15 stall
+                self.stats.stt_write_stall_cycles += wait
+        return start
+
+    def _count_bank_read(self) -> None:
+        if self.technology == "sram":
+            self.stats.sram_reads += 1
+        else:
+            self.stats.stt_reads += 1
+
+    def _count_bank_write(self) -> None:
+        if self.technology == "sram":
+            self.stats.sram_writes += 1
+        else:
+            self.stats.stt_writes += 1
+
+    # ------------------------------------------------------------------
+    def _record_eviction(self, evicted: Optional[EvictedLine]) -> Tuple[int, ...]:
+        """Account an eviction; return writeback tuple for dirty lines."""
+        if evicted is None:
+            return ()
+        self.stats.evictions += 1
+        self._score_eviction(evicted)
+        if evicted.dirty:
+            self.stats.dirty_writebacks += 1
+            return (evicted.block_addr,)
+        return ()
+
+    def _score_eviction(self, evicted: EvictedLine) -> None:
+        """Hook for predictor-accuracy scoring (used by By-NVM / FUSE)."""
+
+    # ------------------------------------------------------------------
+    def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
+        self.stats.tag_lookups += 1
+        is_write = request.is_write
+        block = request.block_addr
+        set_idx, way = self.tags.lookup(block)
+
+        if way is not None:
+            self.stats.hits += 1
+            if is_write:
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            self.tags.touch(set_idx, way, is_write)
+            start = self._start_op(cycle)
+            if is_write:
+                self._count_bank_write()
+                ready = start + self.write_latency
+                self._busy_until = start + self.write_occupancy
+            else:
+                self._count_bank_read()
+                ready = start + self.read_latency
+                self._busy_until = start + self.read_occupancy
+            return AccessResult(AccessOutcome.HIT, ready, (), block)
+
+        # -- miss path ---------------------------------------------------
+        if self.mshr.probe(block):
+            if not self.mshr.can_merge(block):
+                self.stats.reservation_fails += 1
+                return AccessResult(
+                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
+                )
+            self.mshr.merge(block, request)
+            self.stats.merged_misses += 1
+            return AccessResult(AccessOutcome.HIT_PENDING, cycle, (), block)
+
+        if self.mshr.full() or not self.tags.can_reserve(block):
+            self.stats.reservation_fails += 1
+            return AccessResult(AccessOutcome.RESERVATION_FAIL, cycle, (), block)
+
+        _, _, evicted = self.tags.reserve(block, cycle)
+        writebacks = self._record_eviction(evicted)
+        self.mshr.allocate(block, request, destination=self.technology, cycle=cycle)
+        self.stats.misses += 1
+        return AccessResult(AccessOutcome.MISS, cycle, writebacks, block)
+
+    # ------------------------------------------------------------------
+    def fill(self, block_addr: int, cycle: int) -> FillResult:
+        entry = self.mshr.release(block_addr)
+        primary_is_write = entry.requests[0].is_write
+        self.tags.fill(
+            block_addr,
+            cycle,
+            is_write=primary_is_write,
+            fill_pc=entry.requests[0].pc,
+        )
+        # account residency counters for merged secondaries
+        set_idx, way = self.tags.lookup(block_addr)
+        line = self.tags.line(set_idx, way)
+        for merged in entry.requests[1:]:
+            if merged.is_write:
+                line.dirty = True
+                line.writes_observed += 1
+            else:
+                line.reads_observed += 1
+
+        start = self._start_op(cycle)
+        self._count_bank_write()
+        ready = start + self.write_latency
+        self._busy_until = start + self.write_occupancy
+        self.stats.fills += 1
+        return FillResult(ready, list(entry.requests), ())

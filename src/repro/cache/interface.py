@@ -1,0 +1,125 @@
+"""The L1D cache protocol shared by every cache model.
+
+The GPU simulator drives any L1D through two calls:
+
+* :meth:`L1DCacheModel.access` -- a coalesced transaction arrives.  The
+  result tells the simulator whether the data is available (``HIT`` with a
+  ``ready_cycle``), whether the request went off-chip (``MISS`` /
+  ``MISS_BYPASS``), was merged into an outstanding miss (``HIT_PENDING``),
+  or whether a structural hazard forces a retry (``RESERVATION_FAIL``).
+* :meth:`L1DCacheModel.fill` -- the off-chip response for a block arrived.
+  The result lists every merged request that is now complete, so the SM can
+  unblock the owning warps.
+
+Dirty evictions surface as ``writebacks`` on either call; the simulator
+forwards them to the memory subsystem as fire-and-forget traffic.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cache.request import MemoryRequest
+from repro.cache.stats import CacheStats
+
+
+#: Cycles the LSU waits before retrying after a RESERVATION_FAIL.  Shared
+#: between the SM model (which schedules the retry) and cache engines
+#: (which charge it as stall time when a structural hazard rejects an
+#: access), so stall accounting and actual retry timing stay consistent.
+RETRY_INTERVAL = 4
+
+
+class AccessOutcome(enum.Enum):
+    """Result category of a single L1D access."""
+
+    HIT = "hit"
+    HIT_PENDING = "hit_pending"      # merged into an in-flight MSHR entry
+    MISS = "miss"                    # primary miss, forwarded off-chip
+    MISS_BYPASS = "miss_bypass"      # forwarded off-chip, no allocation
+    RESERVATION_FAIL = "reservation_fail"
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of :meth:`L1DCacheModel.access`.
+
+    Attributes:
+        outcome: what happened (see :class:`AccessOutcome`).
+        ready_cycle: for ``HIT``, the cycle the data is available; for the
+            store-hit case this is when the write completes in the bank.
+        writebacks: dirty block addresses evicted by this access that must
+            be written back to L2.
+        block_addr: the block this access targeted (convenience).
+    """
+
+    outcome: AccessOutcome
+    ready_cycle: int = 0
+    writebacks: Tuple[int, ...] = ()
+    block_addr: int = -1
+
+    @property
+    def is_hit(self) -> bool:
+        return self.outcome is AccessOutcome.HIT
+
+
+@dataclass(slots=True)
+class FillResult:
+    """Outcome of :meth:`L1DCacheModel.fill`.
+
+    Attributes:
+        ready_cycle: cycle at which the fill data became usable by warps.
+        completed: the requests (primary + merged) satisfied by this fill.
+        writebacks: dirty evictions triggered by installing the fill.
+    """
+
+    ready_cycle: int
+    completed: List[MemoryRequest] = field(default_factory=list)
+    writebacks: Tuple[int, ...] = ()
+
+
+class L1DCacheModel(abc.ABC):
+    """Abstract base class for all L1D cache models.
+
+    Subclasses implement :meth:`_access_impl`; the public :meth:`access`
+    wrapper owns the access/read/write counters and the predictor-training
+    hook so that **rejected attempts are not double-counted**: an LSU
+    retries a ``RESERVATION_FAIL`` every few cycles, and counting each
+    attempt would inflate APKI and mistrain samplers with phantom reuse.
+    """
+
+    #: short configuration name (e.g. ``"Dy-FUSE"``), set by factories
+    name: str = "l1d"
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def access(self, request: MemoryRequest, cycle: int) -> AccessResult:
+        """Present one coalesced transaction to the cache at *cycle*."""
+        result = self._access_impl(request, cycle)
+        if result.outcome is not AccessOutcome.RESERVATION_FAIL:
+            self.stats.accesses += 1
+            if request.is_write:
+                self.stats.write_accesses += 1
+            else:
+                self.stats.read_accesses += 1
+            self._observe(request)
+        return result
+
+    @abc.abstractmethod
+    def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
+        """Cache-specific access logic (see :meth:`access`)."""
+
+    def _observe(self, request: MemoryRequest) -> None:
+        """Predictor-training hook, called once per accepted access."""
+
+    @abc.abstractmethod
+    def fill(self, block_addr: int, cycle: int) -> FillResult:
+        """Deliver the off-chip response for *block_addr* at *cycle*."""
+
+    def flush_metadata(self) -> None:
+        """Hook for end-of-run bookkeeping (e.g. scoring still-resident
+        predictor decisions).  Default: nothing."""

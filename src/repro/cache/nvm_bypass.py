@@ -1,0 +1,134 @@
+"""``By-NVM``: pure STT-MRAM L1D with dead-write bypassing.
+
+Table I's ``By-NVM`` configuration spends the whole area budget on
+STT-MRAM (128 KB, 256 sets x 4 ways) and integrates a dead-write predictor
+in the spirit of DASCA (Ahn et al., HPCA 2014): a *dead write* is a block
+that is written once (filled) but never re-referenced before eviction.
+Filling such blocks into STT-MRAM wastes a 5-cycle, high-energy write, so
+predicted-dead requests bypass the L1D entirely and are served from L2.
+
+The predictor reuses the PC-signature sampler substrate of
+:mod:`repro.core.sampler`: blocks from PCs whose sampled lines keep getting
+evicted with their ``U`` (used) bit clear accumulate high counter values
+and are classified dead.  Table II's per-workload bypass ratios are the
+emergent output of this predictor and are reproduced by
+``benchmarks/bench_table2_apki.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.basecache import BaseCache
+from repro.cache.interface import AccessOutcome, AccessResult
+from repro.cache.request import BLOCK_SIZE, MemoryRequest
+from repro.cache.tag_array import EvictedLine
+from repro.core.sampler import SamplerTable, SaturatingCounterTable, pc_signature
+
+
+class DeadWritePredictor:
+    """PC-indexed dead-write predictor (DASCA-style, simplified).
+
+    Args:
+        dead_threshold: counter value at or above which a PC's blocks are
+            predicted dead.  Counters start at ``init_value`` (8) and move
+            up on unused evictions, down on sampler re-references.
+        sampled_warps: warps observed by the sampler.
+    """
+
+    def __init__(
+        self,
+        table_entries: int = 1024,
+        dead_threshold: int = 10,
+        counter_bits: int = 4,
+        init_value: int = 8,
+        sampled_warps=(0, 12, 24, 36),
+    ) -> None:
+        self.dead_threshold = dead_threshold
+        self.sampler = SamplerTable(sampled_warps=sampled_warps)
+        self.table = SaturatingCounterTable(
+            entries=table_entries,
+            counter_bits=counter_bits,
+            init_value=init_value,
+        )
+
+    def observe(self, request: MemoryRequest) -> None:
+        """Train on one request (no-op for non-sampled warps)."""
+        observation = self.sampler.observe(
+            request.warp_id,
+            request.block_addr,
+            request.pc,
+            request.is_write,
+        )
+        if observation is None:
+            return
+        if observation.hit:
+            # Re-reference: blocks from this PC are alive.
+            self.table.decrement(observation.hit_signature)
+        elif observation.evicted_signature is not None and not observation.evicted_used:
+            # Evicted without reuse: blocks from that PC look dead.
+            self.table.increment(observation.evicted_signature)
+
+    def is_dead(self, pc: int) -> bool:
+        """True when a block fetched by *pc* should bypass the cache."""
+        return self.table.counter(pc_signature(pc)) >= self.dead_threshold
+
+
+class ByNVMCache(BaseCache):
+    """128 KB pure STT-MRAM L1D with dead-write bypass (``By-NVM``)."""
+
+    def __init__(
+        self,
+        size_kb: int = 128,
+        assoc: int = 4,
+        read_latency: int = 1,
+        write_latency: int = 5,
+        mshr_entries: int = 32,
+        mshr_max_merge: int = 8,
+        dead_threshold: int = 10,
+        sampled_warps=(0, 12, 24, 36),
+        name: str = "By-NVM",
+    ) -> None:
+        num_lines = size_kb * 1024 // BLOCK_SIZE
+        if num_lines % assoc:
+            raise ValueError(f"{size_kb}KB not divisible into {assoc}-way sets")
+        super().__init__(
+            num_sets=num_lines // assoc,
+            assoc=assoc,
+            read_latency=read_latency,
+            write_latency=write_latency,
+            write_occupancy=write_latency,
+            replacement="lru",
+            mshr_entries=mshr_entries,
+            mshr_max_merge=mshr_max_merge,
+            technology="stt",
+            name=name,
+        )
+        self.predictor = DeadWritePredictor(
+            dead_threshold=dead_threshold, sampled_warps=sampled_warps
+        )
+
+    def _observe(self, request: MemoryRequest) -> None:
+        self.predictor.observe(request)
+
+    def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
+        block = request.block_addr
+
+        # A bypass is only legal when the block is not already resident or
+        # pending -- otherwise we would create a stale copy.
+        _, way = self.tags.lookup(block)
+        if way is None and not self.mshr.probe(block):
+            if self.predictor.is_dead(request.pc):
+                self.stats.tag_lookups += 1
+                self.stats.bypasses += 1
+                return AccessResult(
+                    AccessOutcome.MISS_BYPASS, cycle, (), block
+                )
+        return super()._access_impl(request, cycle)
+
+    def _score_eviction(self, evicted: EvictedLine) -> None:
+        """Track how many resident blocks really were dead (diagnostics)."""
+        if evicted.reads_observed == 0 and evicted.writes_observed == 0:
+            self.stats.pred_false += 1  # kept a block that was never reused
+        else:
+            self.stats.pred_true += 1

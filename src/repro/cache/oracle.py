@@ -1,0 +1,85 @@
+"""The "Oracle GPU" L1D: an ideal cache with unbounded capacity.
+
+Figure 3 motivates FUSE by comparing the Vanilla GTX480-like L1D against an
+"ideal L1D cache that has enough capacity to avoid cache thrashing".  The
+oracle still pays cold (compulsory) misses and MSHR constraints -- only
+capacity and conflict misses disappear.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cache.interface import (
+    AccessOutcome,
+    AccessResult,
+    FillResult,
+    L1DCacheModel,
+)
+from repro.cache.mshr import MSHR
+from repro.cache.request import MemoryRequest
+
+
+class OracleCache(L1DCacheModel):
+    """Infinite-capacity L1D (cold misses only).
+
+    Args:
+        read_latency / write_latency: SRAM-like single-cycle timing.
+        mshr_entries / mshr_max_merge: the MSHR stays finite so the oracle
+            still models realistic miss-level parallelism.
+    """
+
+    def __init__(
+        self,
+        read_latency: int = 1,
+        write_latency: int = 1,
+        mshr_entries: int = 32,
+        mshr_max_merge: int = 8,
+        name: str = "Oracle",
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.mshr = MSHR(mshr_entries, mshr_max_merge)
+        self._resident: Set[int] = set()
+
+    def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
+        self.stats.tag_lookups += 1
+        block = request.block_addr
+        if block in self._resident:
+            self.stats.hits += 1
+            if request.is_write:
+                self.stats.write_hits += 1
+                self.stats.sram_writes += 1
+                ready = cycle + self.write_latency
+            else:
+                self.stats.read_hits += 1
+                self.stats.sram_reads += 1
+                ready = cycle + self.read_latency
+            return AccessResult(AccessOutcome.HIT, ready, (), block)
+
+        if self.mshr.probe(block):
+            if not self.mshr.can_merge(block):
+                self.stats.reservation_fails += 1
+                return AccessResult(
+                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
+                )
+            self.mshr.merge(block, request)
+            self.stats.merged_misses += 1
+            return AccessResult(AccessOutcome.HIT_PENDING, cycle, (), block)
+
+        if self.mshr.full():
+            self.stats.reservation_fails += 1
+            return AccessResult(AccessOutcome.RESERVATION_FAIL, cycle, (), block)
+
+        self.mshr.allocate(block, request, cycle=cycle)
+        self.stats.misses += 1
+        return AccessResult(AccessOutcome.MISS, cycle, (), block)
+
+    def fill(self, block_addr: int, cycle: int) -> FillResult:
+        entry = self.mshr.release(block_addr)
+        self._resident.add(block_addr)
+        self.stats.fills += 1
+        self.stats.sram_writes += 1
+        return FillResult(cycle + self.write_latency, list(entry.requests), ())

@@ -1,0 +1,199 @@
+"""Cache replacement policies.
+
+The paper uses LRU for the SRAM bank and set-associative baselines, and FIFO
+for the fully-associative STT-MRAM bank because "the circuit complexity of
+LRU is not affordable in a full-associative cache" (Section V).  PseudoLRU
+and Random are provided as drop-in alternatives for ablation studies, as the
+paper notes other low-cost policies can be integrated.
+
+Each policy tracks its own per-set metadata; the :class:`~repro.cache.
+tag_array.TagArray` drives it through three hooks:
+
+* ``on_fill(set_idx, way)``   -- a block was installed into a way,
+* ``on_access(set_idx, way)`` -- a block was hit,
+* ``select_victim(set_idx, candidates)`` -- choose a way to evict among the
+  candidate ways (ways holding reserved, in-flight lines are excluded by the
+  caller).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterable, Sequence
+
+
+class ReplacementPolicy(abc.ABC):
+    """Interface implemented by all replacement policies."""
+
+    name: str = "abstract"
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        if num_sets < 1 or assoc < 1:
+            raise ValueError("num_sets and assoc must both be >= 1")
+        self.num_sets = num_sets
+        self.assoc = assoc
+
+    @abc.abstractmethod
+    def on_fill(self, set_idx: int, way: int) -> None:
+        """Record that a new block was installed into (set_idx, way)."""
+
+    @abc.abstractmethod
+    def on_access(self, set_idx: int, way: int) -> None:
+        """Record a hit on (set_idx, way)."""
+
+    @abc.abstractmethod
+    def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        """Pick the way to evict among *candidates* (never empty)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used, tracked with a per-line logical timestamp."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._tick = 0
+        self._last_use = [[-1] * assoc for _ in range(num_sets)]
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._last_use[set_idx][way] = self._next_tick()
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        self._last_use[set_idx][way] = self._next_tick()
+
+    def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        stamps = self._last_use[set_idx]
+        return min(candidates, key=lambda way: stamps[way])
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the oldest installed block.
+
+    Hits do not refresh a block's age, which is what makes FIFO cheap enough
+    for the 512-way approximated fully-associative STT-MRAM bank.
+    """
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._tick = 0
+        self._fill_time = [[-1] * assoc for _ in range(num_sets)]
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._tick += 1
+        self._fill_time[set_idx][way] = self._tick
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        # FIFO ignores hits by definition.
+        pass
+
+    def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        stamps = self._fill_time[set_idx]
+        return min(candidates, key=lambda way: stamps[way])
+
+
+class PseudoLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU (the classic one-bit-per-node binary tree).
+
+    Only exact for power-of-two associativity; other associativities round
+    the tree up and clamp the selected way, which preserves the "recently
+    used ways are protected" behaviour that matters for simulation.
+    """
+
+    name = "plru"
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._levels = max(1, (assoc - 1).bit_length())
+        self._bits = [[0] * ((1 << self._levels) - 1) for _ in range(num_sets)]
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        bits = self._bits[set_idx]
+        node = 0
+        for level in range(self._levels):
+            bit = (way >> (self._levels - 1 - level)) & 1
+            # Point the node away from the touched way.
+            bits[node] = 1 - bit
+            node = 2 * node + 1 + bit
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._touch(set_idx, way)
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        self._touch(set_idx, way)
+
+    def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        bits = self._bits[set_idx]
+        node = 0
+        way = 0
+        for level in range(self._levels):
+            bit = bits[node]
+            way = (way << 1) | bit
+            node = 2 * node + 1 + bit
+        candidate_set = set(candidates)
+        if way in candidate_set:
+            return way
+        # The tree pointed at a way we may not evict (reserved line or
+        # non-power-of-two associativity); fall back to the lowest candidate.
+        return min(candidates)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded uniform-random victim selection (deterministic for tests)."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, assoc: int, seed: int = 0xF05E) -> None:
+        super().__init__(num_sets, assoc)
+        self._rng = random.Random(seed)
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        pass
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        pass
+
+    def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        ordered = sorted(candidates)
+        return ordered[self._rng.randrange(len(ordered))]
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "plru": PseudoLRUPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_replacement_policy(
+    name: str, num_sets: int, assoc: int
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    Args:
+        name: one of ``lru``, ``fifo``, ``plru``, ``random``.
+        num_sets: number of sets in the owning tag array.
+        assoc: ways per set.
+
+    Raises:
+        ValueError: when *name* is not a known policy.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown replacement policy {name!r}; known: {known}")
+    return cls(num_sets, assoc)
+
+
+def known_policies() -> Iterable[str]:
+    """Names accepted by :func:`make_replacement_policy`."""
+    return sorted(_POLICIES)

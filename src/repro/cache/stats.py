@@ -1,0 +1,123 @@
+"""Statistics collected by every cache model.
+
+A single flat counter object is shared by all cache variants so that the
+energy model (:mod:`repro.energy.model`) and the experiment harness can
+consume any cache's counters uniformly.  Counters that do not apply to a
+given variant simply stay at zero (e.g. ``tag_queue_flushes`` for a pure
+SRAM cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Flat event counters for one cache instance.
+
+    All fields are integers and the object supports ``+`` so per-SM private
+    cache statistics can be summed into machine-wide totals.
+    """
+
+    # -- reference stream ---------------------------------------------------
+    accesses: int = 0
+    read_accesses: int = 0
+    write_accesses: int = 0
+
+    hits: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+
+    misses: int = 0            # primary misses (MSHR allocated)
+    merged_misses: int = 0     # secondary misses merged into an MSHR entry
+    bypasses: int = 0          # requests forwarded to L2 without allocation
+    reservation_fails: int = 0
+
+    fills: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    # -- bank-level events used by the energy model -------------------------
+    sram_reads: int = 0
+    sram_writes: int = 0
+    stt_reads: int = 0
+    stt_writes: int = 0
+    tag_lookups: int = 0
+
+    # -- FUSE-specific events ------------------------------------------------
+    sram_hits: int = 0
+    stt_hits: int = 0
+    swap_buffer_hits: int = 0
+    migrations_stt_to_sram: int = 0
+    migrations_sram_to_stt: int = 0
+    evictions_to_l2: int = 0
+    tag_queue_flushes: int = 0
+    tag_queue_full_events: int = 0
+    swap_buffer_full_events: int = 0
+
+    # -- stall accounting (Figure 15) ----------------------------------------
+    stt_write_stall_cycles: int = 0
+    tag_search_stall_cycles: int = 0
+    bank_wait_cycles: int = 0
+
+    # -- associativity approximation (Figures 7 and 20) ----------------------
+    cbf_tests: int = 0
+    cbf_updates: int = 0
+    cbf_false_positives: int = 0
+    tag_search_iterations: int = 0
+    tag_searches: int = 0
+
+    # -- read-level predictor accuracy (Figure 16) ----------------------------
+    pred_true: int = 0
+    pred_false: int = 0
+    pred_neutral: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (primary + merged + bypassed)."""
+        if self.accesses == 0:
+            return 0.0
+        return (self.misses + self.merged_misses + self.bypasses) / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from the cache."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def bypass_ratio(self) -> float:
+        """Fraction of misses that bypassed the cache (By-NVM dead writes)."""
+        total_missing = self.misses + self.merged_misses + self.bypasses
+        if total_missing == 0:
+            return 0.0
+        return self.bypasses / total_missing
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of scored predictions that were correct (Figure 16)."""
+        scored = self.pred_true + self.pred_false
+        if scored == 0:
+            return 0.0
+        return self.pred_true / scored
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        merged = CacheStats()
+        for field in dataclasses.fields(CacheStats):
+            setattr(
+                merged,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return merged
+
+    def as_dict(self) -> dict:
+        """Return a plain ``dict`` of all counters (for reports and tests)."""
+        return dataclasses.asdict(self)

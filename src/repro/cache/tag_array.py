@@ -1,0 +1,302 @@
+"""Set-associative tag array with reservation support.
+
+The tag array is the bookkeeping heart of every cache model in this
+repository.  It follows GPGPU-Sim's allocate-on-miss discipline: a miss
+*reserves* a line (so the set cannot over-commit while the fill is in
+flight) and the arriving fill completes the reservation.
+
+Lines additionally record the issuing PC and per-residency read/write
+counts.  Those feed two paper mechanisms:
+
+* the read-level predictor's accuracy scoring (Figure 16) compares the
+  level predicted at fill time against the writes actually observed while
+  the line was resident, and
+* the read-level analysis of Figure 6 is validated against the same
+  counters in integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """State of one cache line (one way of one set)."""
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    reserved: bool = False
+    #: block address stored, kept for convenience (tag encodes it already)
+    block_addr: int = -1
+    #: PC of the request that allocated the line (predictor bookkeeping)
+    fill_pc: int = 0
+    #: read-level predicted at fill time, scored on eviction (Figure 16)
+    predicted_level: Optional[object] = None
+    #: stores observed while resident (excludes the fill itself)
+    writes_observed: int = 0
+    #: loads observed while resident
+    reads_observed: int = 0
+    fill_cycle: int = 0
+
+    def reset(self) -> None:
+        """Return the line to the invalid state."""
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.reserved = False
+        self.block_addr = -1
+        self.fill_pc = 0
+        self.predicted_level = None
+        self.writes_observed = 0
+        self.reads_observed = 0
+        self.fill_cycle = 0
+
+
+@dataclass(slots=True)
+class EvictedLine:
+    """Snapshot of a line pushed out by :meth:`TagArray.reserve`."""
+
+    block_addr: int
+    dirty: bool
+    fill_pc: int
+    predicted_level: Optional[object]
+    writes_observed: int
+    reads_observed: int
+
+
+class TagArray:
+    """A ``num_sets`` x ``assoc`` tag array with pluggable replacement.
+
+    A fully-associative array is simply ``num_sets=1`` with a large
+    associativity, which is exactly how the paper's FA-FUSE configures the
+    STT-MRAM bank (1 set x 512 ways, Table I).
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        replacement: str = "lru",
+    ) -> None:
+        if num_sets < 1 or assoc < 1:
+            raise ValueError("num_sets and assoc must be >= 1")
+        if num_sets & (num_sets - 1):
+            raise ValueError("num_sets must be a power of two")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.policy: ReplacementPolicy = make_replacement_policy(
+            replacement, num_sets, assoc
+        )
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(assoc)] for _ in range(num_sets)
+        ]
+        self._set_mask = num_sets - 1
+        #: valid-block index: block_addr -> (set_idx, way); keeps lookups
+        #: O(1) even for the 512-way fully-associative STT organisation
+        self._index: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        return self.num_sets * self.assoc
+
+    def set_index(self, block_addr: int) -> int:
+        """Set index for a block address (low-order block bits)."""
+        return block_addr & self._set_mask
+
+    def line(self, set_idx: int, way: int) -> CacheLine:
+        """Direct line access (used by cache engines and tests)."""
+        return self._sets[set_idx][way]
+
+    def iter_valid_lines(self) -> Iterator[CacheLine]:
+        """Yield every valid (non-reserved) line."""
+        for ways in self._sets:
+            for line in ways:
+                if line.valid:
+                    yield line
+
+    # ------------------------------------------------------------------
+    def lookup(self, block_addr: int) -> Tuple[int, Optional[int]]:
+        """Return ``(set_idx, way)``; way is None on miss.
+
+        Only valid lines match; reserved (in-flight) lines do not count as
+        hits -- the MSHR handles those as merged misses.
+        """
+        entry = self._index.get(block_addr)
+        if entry is not None:
+            return entry
+        return self.set_index(block_addr), None
+
+    def probe_reserved(self, block_addr: int) -> bool:
+        """True if a reservation for *block_addr* is pending in its set."""
+        set_idx = self.set_index(block_addr)
+        for line in self._sets[set_idx]:
+            if line.reserved and line.block_addr == block_addr:
+                return True
+        return False
+
+    def touch(self, set_idx: int, way: int, is_write: bool) -> None:
+        """Record a hit for replacement state and residency counters."""
+        line = self._sets[set_idx][way]
+        self.policy.on_access(set_idx, way)
+        if is_write:
+            line.dirty = True
+            line.writes_observed += 1
+        else:
+            line.reads_observed += 1
+
+    # ------------------------------------------------------------------
+    def can_reserve(self, block_addr: int) -> bool:
+        """True when the set has at least one non-reserved way."""
+        set_idx = self.set_index(block_addr)
+        return any(not line.reserved for line in self._sets[set_idx])
+
+    def peek_victim(self, block_addr: int) -> Tuple[bool, Optional[CacheLine]]:
+        """Preview what :meth:`reserve` would do, without mutating.
+
+        Returns ``(can_reserve, victim_line)``: ``victim_line`` is the
+        valid line that would be displaced, or None when a free way exists
+        (or when reservation is impossible).  Deterministic policies (LRU,
+        FIFO, PLRU) guarantee the subsequent :meth:`reserve` picks the same
+        victim; ``RandomPolicy`` does not (its RNG advances per call), so
+        check-then-commit cache engines should avoid it.
+        """
+        set_idx = self.set_index(block_addr)
+        ways = self._sets[set_idx]
+        for line in ways:
+            if not line.valid and not line.reserved:
+                return True, None
+        candidates = [w for w, line in enumerate(ways) if not line.reserved]
+        if not candidates:
+            return False, None
+        victim_way = self.policy.select_victim(set_idx, candidates)
+        return True, ways[victim_way]
+
+    def reserve(
+        self, block_addr: int, cycle: int = 0
+    ) -> Tuple[int, int, Optional[EvictedLine]]:
+        """Reserve a way for an in-flight fill of *block_addr*.
+
+        Selects a victim among non-reserved ways (invalid ways first), marks
+        the chosen way reserved and returns ``(set_idx, way, evicted)``.
+        ``evicted`` describes the valid line that was displaced, or None.
+
+        Raises:
+            RuntimeError: when every way in the set is already reserved.
+                Callers must check :meth:`can_reserve` first; running out of
+                ways is the "cannot obtain a free cache line" structural
+                hazard that surfaces as a reservation failure.
+        """
+        set_idx = self.set_index(block_addr)
+        ways = self._sets[set_idx]
+
+        victim_way: Optional[int] = None
+        for way, line in enumerate(ways):
+            if not line.valid and not line.reserved:
+                victim_way = way
+                break
+        if victim_way is None:
+            candidates = [w for w, line in enumerate(ways) if not line.reserved]
+            if not candidates:
+                raise RuntimeError(
+                    f"reserve() with all ways reserved in set {set_idx}"
+                )
+            victim_way = self.policy.select_victim(set_idx, candidates)
+
+        line = ways[victim_way]
+        evicted: Optional[EvictedLine] = None
+        if line.valid:
+            evicted = EvictedLine(
+                block_addr=line.block_addr,
+                dirty=line.dirty,
+                fill_pc=line.fill_pc,
+                predicted_level=line.predicted_level,
+                writes_observed=line.writes_observed,
+                reads_observed=line.reads_observed,
+            )
+            self._index.pop(line.block_addr, None)
+        line.reset()
+        line.reserved = True
+        line.block_addr = block_addr
+        line.tag = block_addr >> 0
+        line.fill_cycle = cycle
+        return set_idx, victim_way, evicted
+
+    def fill(
+        self,
+        block_addr: int,
+        cycle: int = 0,
+        is_write: bool = False,
+        fill_pc: int = 0,
+        predicted_level: Optional[object] = None,
+    ) -> Tuple[int, int]:
+        """Complete the reservation for *block_addr*.
+
+        Returns ``(set_idx, way)`` of the now-valid line.
+
+        Raises:
+            RuntimeError: when no reservation exists (fills must always have
+                been preceded by a reserve; anything else is an engine bug).
+        """
+        set_idx = self.set_index(block_addr)
+        for way, line in enumerate(self._sets[set_idx]):
+            if line.reserved and line.block_addr == block_addr:
+                line.reserved = False
+                line.valid = True
+                line.dirty = is_write
+                line.fill_pc = fill_pc
+                line.predicted_level = predicted_level
+                line.fill_cycle = cycle
+                self.policy.on_fill(set_idx, way)
+                self._index[block_addr] = (set_idx, way)
+                return set_idx, way
+        raise RuntimeError(f"fill() without reservation for 0x{block_addr:x}")
+
+    def install(
+        self,
+        block_addr: int,
+        cycle: int = 0,
+        dirty: bool = False,
+        fill_pc: int = 0,
+        predicted_level: Optional[object] = None,
+    ) -> Tuple[int, int, Optional[EvictedLine]]:
+        """Reserve-and-fill in one step (used for migrations between banks,
+        where the data is already on chip and no fill response is pending).
+        """
+        set_idx, way, evicted = self.reserve(block_addr, cycle)
+        line = self._sets[set_idx][way]
+        line.reserved = False
+        line.valid = True
+        line.dirty = dirty
+        line.fill_pc = fill_pc
+        line.predicted_level = predicted_level
+        self.policy.on_fill(set_idx, way)
+        self._index[block_addr] = (set_idx, way)
+        return set_idx, way, evicted
+
+    def invalidate(self, block_addr: int) -> Optional[EvictedLine]:
+        """Invalidate *block_addr* if present; return its snapshot."""
+        set_idx, way = self.lookup(block_addr)
+        if way is None:
+            return None
+        line = self._sets[set_idx][way]
+        snapshot = EvictedLine(
+            block_addr=line.block_addr,
+            dirty=line.dirty,
+            fill_pc=line.fill_pc,
+            predicted_level=line.predicted_level,
+            writes_observed=line.writes_observed,
+            reads_observed=line.reads_observed,
+        )
+        line.reset()
+        self._index.pop(block_addr, None)
+        return snapshot
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(1 for _ in self.iter_valid_lines())

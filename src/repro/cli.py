@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the workflows a downstream user reaches for first:
+
+* ``list``    -- show the available L1D configurations and workloads.
+* ``run``     -- simulate one (configuration, workload) pair and print
+  the headline metrics.
+* ``compare`` -- run several configurations on one workload and print a
+  normalized comparison table (a one-workload slice of Figure 13).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.factory import known_configs, l1d_config
+from repro.harness.report import format_table
+from repro.harness.runner import Runner
+from repro.workloads.benchmarks import benchmark_class, benchmark_names
+from repro.workloads.suites import suite_of
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FUSE (HPCA 2019) reproduction: heterogeneous "
+                    "SRAM/STT-MRAM GPU L1D cache simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list configurations and workloads")
+
+    run = sub.add_parser("run", help="simulate one config on one workload")
+    run.add_argument("config", help="L1D configuration name (see 'list')")
+    run.add_argument("workload", help="benchmark name (see 'list')")
+    _add_machine_args(run)
+
+    compare = sub.add_parser(
+        "compare", help="compare configurations on one workload"
+    )
+    compare.add_argument("workload", help="benchmark name")
+    compare.add_argument(
+        "--configs",
+        default="L1-SRAM,By-NVM,Hybrid,Base-FUSE,FA-FUSE,Dy-FUSE",
+        help="comma-separated configuration names",
+    )
+    _add_machine_args(compare)
+    return parser
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sms", type=int, default=4,
+        help="streaming multiprocessors to simulate (default 4)",
+    )
+    parser.add_argument(
+        "--scale", default="test", choices=("smoke", "test", "bench"),
+        help="trace scale preset (default test)",
+    )
+    parser.add_argument(
+        "--gpu", default="fermi", choices=("fermi", "volta"),
+        help="machine profile (default fermi)",
+    )
+
+
+def _cmd_list() -> int:
+    config_rows = [
+        [name, l1d_config(name).description] for name in known_configs()
+    ]
+    print(format_table(
+        ["config", "description"], config_rows,
+        title="L1D configurations (Table I)",
+    ))
+    print()
+    workload_rows = [
+        [name, suite_of(name), benchmark_class(name).apki_paper,
+         benchmark_class(name).description]
+        for name in benchmark_names()
+    ]
+    print(format_table(
+        ["workload", "suite", "APKI", "description"], workload_rows,
+        title="Workloads (Table II)",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = Runner(gpu_profile=args.gpu, scale=args.scale, num_sms=args.sms)
+    result = runner.run(args.config, args.workload)
+    stats = result.l1d
+    rows = [
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["IPC", result.ipc],
+        ["L1D miss rate", result.l1d_miss_rate],
+        ["L1D accesses", stats.accesses],
+        ["bypass ratio", stats.bypass_ratio],
+        ["STT write stalls (cycles)", stats.stt_write_stall_cycles],
+        ["off-chip latency share", result.offchip_fraction],
+        ["L1D energy (uJ)", result.energy.l1d_nj / 1000.0],
+        ["total energy (uJ)", result.energy.total_nj / 1000.0],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.config} on {args.workload} "
+              f"({args.gpu}, {args.sms} SMs, {args.scale} scale)",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    runner = Runner(gpu_profile=args.gpu, scale=args.scale, num_sms=args.sms)
+    rows = []
+    baseline: Optional[float] = None
+    for config in configs:
+        result = runner.run(config, args.workload)
+        if baseline is None:
+            baseline = result.ipc or 1.0
+        rows.append([
+            config, result.ipc, result.ipc / baseline,
+            result.l1d_miss_rate, result.l1d.stt_write_stall_cycles,
+        ])
+    print(format_table(
+        ["config", "IPC", f"vs {configs[0]}", "miss rate", "STT stalls"],
+        rows,
+        title=f"Configuration comparison on {args.workload}",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

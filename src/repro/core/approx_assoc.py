@@ -1,0 +1,281 @@
+"""Associativity approximation for the STT-MRAM bank (Section III-B).
+
+A true fully-associative cache compares every stored tag in parallel --
+prohibitive at 512 ways (the paper cites 30.6x area and 28.3x power versus
+4-way for even a 16 KB array).  FUSE instead:
+
+1. partitions the 512-way tag array into groups sized to the number of
+   parallel comparators (4), and
+2. places one counting Bloom filter in front of each group.  A lookup first
+   tests every CBF in parallel (one STT-MRAM read, sub-cycle), then polls
+   only the *positive* groups, one group per cycle, 4 tags compared per
+   iteration.
+
+With well-tuned CBFs the search takes 1-2 cycles across the paper's
+workloads; CBF false positives add wasted iterations, which Figure 20
+quantifies.  The tag queue keeps those extra cycles off the SM's critical
+path (they surface as ``tag_search_stall_cycles``, Figure 15).
+
+Implementation note: the per-group filters are held as one numpy counter
+matrix so that the "test every CBF in parallel" step is a vectorised
+fancy-index -- semantically identical to 128 independent
+:class:`~repro.core.bloom.CountingBloomFilter` objects (2-bit saturating
+counters, double hashing, no false negatives) but ~100x faster, which the
+pure-Python simulator needs.  The standalone class remains the reference
+implementation and the Figure 20 microbench subject; property tests assert
+the two agree on the no-false-negative invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bloom import NVMCBFTimingModel, _mix64
+
+#: stride separating the hash streams of adjacent groups
+_GROUP_SALT = 0x9E3779B97F4A7C15
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of one approximated tag search.
+
+    Attributes:
+        way: matching way index, or None on miss.
+        cycles: tag-search latency in cycles (CBF test + polling
+            iterations).
+        iterations: tag-array polling iterations performed.
+        false_positives: positive CBF groups that did not hold the tag.
+    """
+
+    way: Optional[int]
+    cycles: int
+    iterations: int
+    false_positives: int
+
+
+class ApproximateAssociativeArray:
+    """Tag-search engine for a 1-set x N-way STT-MRAM bank.
+
+    The array tracks *which way holds which block* and prices each lookup.
+    Replacement is FIFO (a rotating cursor over ways) when the array is
+    used standalone; when mirroring a cache engine's tag array, the engine
+    owns placement through :meth:`note_install` / :meth:`note_evict`.
+
+    Args:
+        num_ways: ways in the (single-set) array; Table I uses 512.
+        num_cbfs: tag-array partitions, one CBF each (Table I: 128).
+        num_hashes: hash functions per CBF (Table I: 3).
+        cbf_counters: counter-array length per CBF (Table I: 16).
+        num_comparators: tags compared per polling iteration (4).
+        exact: when True, model an ideal fully-associative search (single
+            cycle, no CBFs) -- the comparison baseline of Figure 7b.
+    """
+
+    COUNTER_MAX = 3  # 2-bit saturating counters
+
+    def __init__(
+        self,
+        num_ways: int = 512,
+        num_cbfs: int = 128,
+        num_hashes: int = 3,
+        cbf_counters: int = 16,
+        num_comparators: int = 4,
+        exact: bool = False,
+    ) -> None:
+        if num_ways < 1:
+            raise ValueError("num_ways must be >= 1")
+        if num_cbfs < 1 or num_cbfs > num_ways:
+            raise ValueError("num_cbfs must be in [1, num_ways]")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.num_ways = num_ways
+        self.num_cbfs = num_cbfs
+        self.num_hashes = num_hashes
+        self.cbf_counters = cbf_counters
+        self.num_comparators = num_comparators
+        self.exact = exact
+        self.timing = NVMCBFTimingModel()
+        self._group_size = (num_ways + num_cbfs - 1) // num_cbfs
+
+        self._counters = np.zeros((num_cbfs, cbf_counters), dtype=np.int16)
+        self._group_offsets = (
+            np.arange(num_cbfs, dtype=np.int64) * (_GROUP_SALT % cbf_counters)
+        ) % cbf_counters
+        self._hash_steps = np.arange(num_hashes, dtype=np.int64)
+        self._row_index = np.arange(num_cbfs, dtype=np.int64)[:, None]
+        #: (h1 mod m, h2 mod m) -> precomputed (F, H) index matrix
+        self._idx_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+        self._way_block: List[int] = [-1] * num_ways
+        self._block_way: Dict[int, int] = {}
+        self._fifo_cursor = 0
+
+        # lifetime statistics (aggregated into CacheStats by the owner)
+        self.tests = 0
+        self.updates = 0
+        self.false_positive_groups = 0
+        self.total_iterations = 0
+        self.total_searches = 0
+
+    # ------------------------------------------------------------------
+    def _key_hashes(self, key: int) -> Tuple[int, int]:
+        h1 = _mix64(key)
+        h2 = _mix64(h1 ^ 0xDA942042E4DD58B5) | 1
+        return h1 % self.cbf_counters, h2 % self.cbf_counters
+
+    def _index_matrix(self, key: int) -> np.ndarray:
+        """(num_cbfs, num_hashes) counter indices for *key* in each group."""
+        h1m, h2m = self._key_hashes(key)
+        cached = self._idx_cache.get((h1m, h2m))
+        if cached is None:
+            cached = (
+                h1m
+                + self._group_offsets[:, None]
+                + self._hash_steps[None, :] * h2m
+            ) % self.cbf_counters
+            self._idx_cache[(h1m, h2m)] = cached
+        return cached
+
+    def _group_indices(self, key: int, group: int) -> np.ndarray:
+        return self._index_matrix(key)[group]
+
+    def _group_of_way(self, way: int) -> int:
+        return way // self._group_size
+
+    # ------------------------------------------------------------------
+    def __contains__(self, block_addr: int) -> bool:
+        return block_addr in self._block_way
+
+    def occupancy(self) -> int:
+        return len(self._block_way)
+
+    def way_of(self, block_addr: int) -> Optional[int]:
+        """Stored way for a block (bypasses timing; used by tests)."""
+        return self._block_way.get(block_addr)
+
+    def group_test(self, block_addr: int, group: int) -> bool:
+        """Membership test of a single group's CBF (test helper)."""
+        idx = self._group_indices(block_addr, group)
+        return bool((self._counters[group, idx] > 0).all())
+
+    # ------------------------------------------------------------------
+    def search(self, block_addr: int) -> SearchResult:
+        """Perform (and price) one tag search for *block_addr*."""
+        self.total_searches += 1
+        actual_way = self._block_way.get(block_addr)
+
+        if self.exact:
+            # Ideal fully-associative search: all comparators in parallel.
+            self.total_iterations += 1
+            return SearchResult(actual_way, 1, 1, 0)
+
+        self.tests += 1
+        idx = self._index_matrix(block_addr)
+        values = self._counters[self._row_index, idx]
+        positives = np.flatnonzero((values > 0).all(axis=1))
+
+        if actual_way is None:
+            # A miss polls every positive group before concluding absent.
+            iterations = len(positives)
+            false_positives = iterations
+        else:
+            actual_group = self._group_of_way(actual_way)
+            # CBFs have no false negatives, so the group must be positive.
+            position = int(np.searchsorted(positives, actual_group))
+            iterations = position + 1
+            false_positives = position
+
+        self.total_iterations += iterations
+        self.false_positive_groups += false_positives
+        cycles = self.timing.test_cycles + max(1, iterations)
+        return SearchResult(actual_way, cycles, iterations, false_positives)
+
+    # ------------------------------------------------------------------
+    def _cbf_insert(self, block_addr: int, group: int) -> None:
+        counters = self._counters
+        for idx in self._group_indices(block_addr, group):
+            if counters[group, idx] < self.COUNTER_MAX:
+                counters[group, idx] += 1
+        self.updates += 1
+
+    def _cbf_remove(self, block_addr: int, group: int) -> None:
+        counters = self._counters
+        for idx in self._group_indices(block_addr, group):
+            # stuck counters stay at max (decrement would risk a false
+            # negative -- see repro.core.bloom)
+            if 0 < counters[group, idx] < self.COUNTER_MAX:
+                counters[group, idx] -= 1
+        self.updates += 1
+
+    # ------------------------------------------------------------------
+    def install(self, block_addr: int) -> Optional[int]:
+        """Place *block_addr* into the FIFO-selected way (standalone use).
+
+        Returns the block address evicted from that way, or None.
+
+        Raises:
+            RuntimeError: when the block is already present (the cache
+                engine must search before installing).
+        """
+        if block_addr in self._block_way:
+            raise RuntimeError(f"block 0x{block_addr:x} already installed")
+        way = self._fifo_cursor
+        self._fifo_cursor = (self._fifo_cursor + 1) % self.num_ways
+        evicted = self._way_block[way]
+        group = self._group_of_way(way)
+        if evicted != -1:
+            del self._block_way[evicted]
+            self._cbf_remove(evicted, group)
+        self._way_block[way] = block_addr
+        self._block_way[block_addr] = way
+        self._cbf_insert(block_addr, group)
+        return None if evicted == -1 else evicted
+
+    def remove(self, block_addr: int) -> bool:
+        """Invalidate *block_addr*; True when it was present."""
+        way = self._block_way.pop(block_addr, None)
+        if way is None:
+            return False
+        self._way_block[way] = -1
+        self._cbf_remove(block_addr, self._group_of_way(way))
+        return True
+
+    # ------------------------------------------------------------------
+    # Mirror mode: the FUSE cache engine owns placement through its
+    # authoritative TagArray and keeps this structure in sync so that
+    # searches are priced against the true contents.
+    def note_install(self, block_addr: int, way: int) -> None:
+        """Mirror an install performed by the owning tag array.
+
+        Raises:
+            ValueError: when *way* is out of range.
+            RuntimeError: when the way already holds a block (the owner
+                must evict first).
+        """
+        if not 0 <= way < self.num_ways:
+            raise ValueError(f"way {way} out of range")
+        if self._way_block[way] != -1:
+            raise RuntimeError(f"way {way} already holds a block")
+        if block_addr in self._block_way:
+            raise RuntimeError(f"block 0x{block_addr:x} already mirrored")
+        self._way_block[way] = block_addr
+        self._block_way[block_addr] = way
+        self._cbf_insert(block_addr, self._group_of_way(way))
+
+    def note_evict(self, block_addr: int) -> None:
+        """Mirror an eviction performed by the owning tag array."""
+        self.remove(block_addr)
+
+    # ------------------------------------------------------------------
+    @property
+    def false_positive_rate(self) -> float:
+        """False-positive groups per CBF test opportunity (Figure 20)."""
+        if self.tests == 0:
+            return 0.0
+        # Each search tests every CBF; a clean search polls at most one
+        # group.  Rate = wasted positives / total group tests.
+        return self.false_positive_groups / (self.tests * self.num_cbfs)

@@ -1,0 +1,76 @@
+"""Arbitration logic: the data-placement decision tree of Figure 9.
+
+The arbitrator owns three placement decisions; everything else in the FUSE
+controller (bank probing, queue management) is mechanism.  Extracting the
+decisions here keeps them unit-testable against the paper's tree:
+
+* **Fill destination** -- where does an incoming (missed) block land?
+  With the read-level predictor: WM and WORO blocks go to SRAM (writes are
+  cheap there, and WORO blocks will be thrown to L2 soon anyway); WORM and
+  neutral/read-intensive blocks go to STT-MRAM.  Without a predictor
+  (Hybrid / Base-FUSE / FA-FUSE) every fill lands in SRAM and the STT bank
+  acts as a victim store.
+* **Eviction destination** -- when SRAM evicts a line, WORO-predicted
+  lines leave for L2; everything else migrates into STT-MRAM (through the
+  swap buffer when the non-blocking datapath is enabled).
+* **STT write-hit action** -- a store hitting STT-MRAM is a misprediction
+  for Dy-FUSE, which migrates the line back to SRAM; configurations
+  without the predictor write in place (eating the tag-queue flush).
+
+The paper notes the arbitration circuit evaluates in under 1 ns -- below a
+cache cycle -- so the decision itself adds no latency in the timing model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.read_level_predictor import ReadLevel, ReadLevelPredictor
+
+
+class Destination(enum.Enum):
+    """Where the arbitrated data block should live next."""
+
+    SRAM = "sram"
+    STT = "stt"
+    L2 = "l2"
+
+
+@dataclass(frozen=True, slots=True)
+class ArbiterDecision:
+    """A placement decision plus the predicted level that motivated it."""
+
+    destination: Destination
+    level: Optional[ReadLevel]
+
+
+class Arbiter:
+    """Figure 9's decision tree, parameterised by predictor availability."""
+
+    def __init__(self, predictor: Optional[ReadLevelPredictor] = None) -> None:
+        self.predictor = predictor
+
+    # ------------------------------------------------------------------
+    def fill_destination(self, pc: int) -> ArbiterDecision:
+        """Destination bank for a block about to be fetched by *pc*."""
+        if self.predictor is None:
+            return ArbiterDecision(Destination.SRAM, None)
+        level = self.predictor.predict(pc)
+        if level in (ReadLevel.WM, ReadLevel.WORO):
+            return ArbiterDecision(Destination.SRAM, level)
+        return ArbiterDecision(Destination.STT, level)
+
+    def eviction_destination(self, fill_pc: int) -> ArbiterDecision:
+        """Destination for a line being evicted from the SRAM bank."""
+        if self.predictor is None:
+            return ArbiterDecision(Destination.STT, None)
+        level = self.predictor.predict(fill_pc)
+        if level is ReadLevel.WORO:
+            return ArbiterDecision(Destination.L2, level)
+        return ArbiterDecision(Destination.STT, level)
+
+    def migrate_on_stt_write_hit(self) -> bool:
+        """True when a store hitting STT-MRAM should migrate to SRAM."""
+        return self.predictor is not None

@@ -1,0 +1,141 @@
+"""Counting Bloom filters and the NVM-CBF timing model (Section IV-C).
+
+A counting Bloom filter (CBF) answers "might this tag be in my data set?"
+with no false negatives.  FUSE places one CBF in front of each partition of
+the approximated fully-associative STT-MRAM tag array so that the serialized
+tag search only polls partitions whose CBF answers *positive*.
+
+Hardware fidelity notes:
+
+* Counters are 2-bit and **saturating**: once a counter reaches 3 it is
+  never incremented or decremented again ("stuck"), because decrementing a
+  counter that silently absorbed a fourth increment would create a false
+  negative.  This is the standard safe small-counter CBF construction and
+  is covered by property tests (a CBF must never report a stored tag as
+  absent).
+* The paper implements the counter arrays in STT-MRAM (the "NVM-CBF" 2D MTJ
+  island) so that a membership *test* completes within a single STT-MRAM
+  read -- 591 ps, under one L1D cycle.  :class:`NVMCBFTimingModel` captures
+  those constants for the energy/latency accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+def _mix64(value: int) -> int:
+    """A 64-bit finalizer-style mixer (splitmix64 constants)."""
+    value &= 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+class CountingBloomFilter:
+    """A counting Bloom filter with small saturating counters.
+
+    Args:
+        num_counters: length of the counter array ("slots"; Table I uses
+            16, Figure 20 sweeps 32/64/128).
+        num_hashes: hash functions per key (Table I: 3).
+        counter_bits: counter width (2 in the NVM-CBF design).
+        seed: salts the hash functions so filters are independent.
+    """
+
+    def __init__(
+        self,
+        num_counters: int = 16,
+        num_hashes: int = 3,
+        counter_bits: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if num_counters < 1:
+            raise ValueError("num_counters must be >= 1")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be >= 1")
+        self.num_counters = num_counters
+        self.num_hashes = num_hashes
+        self.counter_max = (1 << counter_bits) - 1
+        self._seed = seed
+        self._counters: List[int] = [0] * num_counters
+        self.inserted = 0
+
+    # ------------------------------------------------------------------
+    def _indices(self, key: int) -> List[int]:
+        """Counter indices for *key* (double hashing: h1 + i*h2)."""
+        h1 = _mix64(key ^ (self._seed * 0x9E3779B97F4A7C15))
+        h2 = _mix64(h1 ^ 0xDA942042E4DD58B5) | 1  # odd stride
+        return [
+            (h1 + i * h2) % self.num_counters for i in range(self.num_hashes)
+        ]
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        """Record that *key* joined the data set ("increment")."""
+        for idx in self._indices(key):
+            if self._counters[idx] < self.counter_max:
+                self._counters[idx] += 1
+            # Saturated counters stay stuck (see module docstring).
+        self.inserted += 1
+
+    def remove(self, key: int) -> None:
+        """Record that *key* left the data set ("decrement").
+
+        Decrementing a saturated counter is unsafe (it may have absorbed
+        more than ``counter_max`` increments), so stuck counters stay at
+        their maximum.  This can only cause extra false positives, never a
+        false negative.
+        """
+        for idx in self._indices(key):
+            if 0 < self._counters[idx] < self.counter_max:
+                self._counters[idx] -= 1
+        if self.inserted > 0:
+            self.inserted -= 1
+
+    def test(self, key: int) -> bool:
+        """Membership test: False means definitely absent ("negative")."""
+        return all(self._counters[idx] > 0 for idx in self._indices(key))
+
+    # ------------------------------------------------------------------
+    def counters(self) -> List[int]:
+        """Copy of the counter array (tests and diagnostics)."""
+        return list(self._counters)
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self._counters = [0] * self.num_counters
+        self.inserted = 0
+
+
+@dataclass(frozen=True)
+class NVMCBFTimingModel:
+    """Latency/energy constants of the STT-MRAM CBF array (Section IV-C).
+
+    The 2D MTJ island shares peripherals across all counter arrays so a
+    membership *test* of every CBF completes in parallel within a single
+    STT-MRAM read (the paper's CACTI experiment reports 591 ps, below one
+    cache cycle).  Increments/decrements ride along with the corresponding
+    STT-MRAM data-array write, so they add no standalone latency.
+
+    Attributes:
+        test_ps: wall-clock latency of a parallel test, picoseconds.
+        cycle_ps: L1D cycle time at 1.4 GHz, picoseconds.
+        test_energy_nj: energy of one parallel test over all CBFs.
+        update_energy_nj: energy of one increment/decrement.
+        area_bytes: total CBF storage (Table I: 512 B).
+    """
+
+    test_ps: float = 591.0
+    cycle_ps: float = 714.3  # 1 / 1.4 GHz
+    test_energy_nj: float = 0.01
+    update_energy_nj: float = 0.02
+    area_bytes: int = 512
+
+    @property
+    def test_cycles(self) -> int:
+        """Whole L1D cycles a test costs (0 when it hides in the lookup)."""
+        return 0 if self.test_ps <= self.cycle_ps else 1

@@ -1,0 +1,659 @@
+"""The FUSE heterogeneous L1D cache engine (Sections III and IV).
+
+One engine, four paper configurations, enabled feature by feature exactly
+as the evaluation builds them up (Table I):
+
+==============  ============  ===========  ==========
+configuration   non-blocking  approx FA    predictor
+==============  ============  ===========  ==========
+``Hybrid``      no            no           no
+``Base-FUSE``   yes           no           no
+``FA-FUSE``     yes           yes          no
+``Dy-FUSE``     yes           yes          yes
+==============  ============  ===========  ==========
+
+* **non-blocking** adds the swap buffer (3 x 128 B registers) and the
+  16-entry tag queue so the SRAM bank keeps serving while the STT-MRAM
+  bank digests 5-cycle writes.  Without it, any STT-MRAM write blocks the
+  entire L1D (the ``Hybrid`` behaviour the paper measures in Figure 15).
+* **approx FA** reorganises the STT-MRAM bank from 256 sets x 2 ways into
+  1 set x 512 ways, searched through the CBF-guided associativity
+  approximation of Section III-B, with FIFO replacement.
+* **predictor** routes fills and evictions through the read-level
+  predictor: WM/WORO fills land in SRAM, WORM/read-intensive fills go
+  straight to STT-MRAM, WORO SRAM-evictions leave for L2, and a store that
+  hits STT-MRAM (a misprediction) migrates its line back to SRAM.
+
+Consistency invariant: a block lives in **at most one** of {SRAM bank,
+swap buffer + STT tags, STT bank} at any time -- the paper's "only single
+data copy exists in either SRAM or STT-MRAM".  While a line is parked in
+the swap buffer its tag is already installed in the STT tag array and the
+probe order (SRAM, swap buffer, STT) keeps the freshest copy visible; the
+integration tests assert the single-copy invariant after every operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cache.interface import (
+    RETRY_INTERVAL,
+    AccessOutcome,
+    AccessResult,
+    FillResult,
+    L1DCacheModel,
+)
+from repro.cache.mshr import MSHR
+from repro.cache.request import BLOCK_SIZE, MemoryRequest
+from repro.cache.tag_array import EvictedLine, TagArray
+from repro.core.approx_assoc import ApproximateAssociativeArray
+from repro.core.arbitration import Arbiter, Destination
+from repro.core.read_level_predictor import ReadLevel, ReadLevelPredictor
+from repro.core.swap_buffer import SwapBuffer
+from repro.core.tag_queue import TagQueue
+
+
+@dataclass(frozen=True, slots=True)
+class FuseFeatures:
+    """Feature toggles selecting the paper configuration (see module docs)."""
+
+    non_blocking: bool = True
+    approx_assoc: bool = True
+    use_predictor: bool = True
+
+    @classmethod
+    def hybrid(cls) -> "FuseFeatures":
+        return cls(non_blocking=False, approx_assoc=False, use_predictor=False)
+
+    @classmethod
+    def base_fuse(cls) -> "FuseFeatures":
+        return cls(non_blocking=True, approx_assoc=False, use_predictor=False)
+
+    @classmethod
+    def fa_fuse(cls) -> "FuseFeatures":
+        return cls(non_blocking=True, approx_assoc=True, use_predictor=False)
+
+    @classmethod
+    def dy_fuse(cls) -> "FuseFeatures":
+        return cls(non_blocking=True, approx_assoc=True, use_predictor=True)
+
+
+class FuseCache(L1DCacheModel):
+    """Heterogeneous SRAM + STT-MRAM L1D cache.
+
+    Args:
+        sram_kb / sram_assoc: SRAM bank geometry (Table I: 16 KB, 2-way).
+        stt_kb: STT-MRAM bank capacity (Table I: 64 KB).
+        stt_assoc: ways per set when *not* approximated (Table I: 2).
+        features: which FUSE mechanisms are enabled.
+        sram_read/write_latency: 1/1 cycles (Table I).
+        stt_read/write_latency: 1/5 cycles (Table I).
+        swap_entries: swap-buffer registers (3).
+        tag_queue_capacity: pending STT operations (16).
+        num_cbfs / cbf_counters / cbf_hashes: approximation parameters
+            (128 CBFs x 16 2-bit counters, 3 hash functions).
+        exact_fa: price STT tag search as an ideal fully-associative
+            lookup (Figure 7b's comparison baseline).
+        predictor: inject a pre-built predictor (otherwise one is created
+            from Table I defaults when the feature is on).
+    """
+
+    def __init__(
+        self,
+        sram_kb: int = 16,
+        sram_assoc: int = 2,
+        stt_kb: int = 64,
+        stt_assoc: int = 2,
+        features: FuseFeatures = FuseFeatures.dy_fuse(),
+        sram_read_latency: int = 1,
+        sram_write_latency: int = 1,
+        stt_read_latency: int = 1,
+        stt_write_latency: int = 5,
+        swap_entries: int = 3,
+        tag_queue_capacity: int = 16,
+        num_cbfs: int = 128,
+        cbf_counters: int = 16,
+        cbf_hashes: int = 3,
+        num_comparators: int = 4,
+        exact_fa: bool = False,
+        mshr_entries: int = 32,
+        mshr_max_merge: int = 8,
+        predictor: Optional[ReadLevelPredictor] = None,
+        name: str = "Dy-FUSE",
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.features = features
+
+        sram_lines = sram_kb * 1024 // BLOCK_SIZE
+        if sram_lines % sram_assoc:
+            raise ValueError(f"{sram_kb}KB SRAM not divisible by {sram_assoc} ways")
+        self.sram = TagArray(sram_lines // sram_assoc, sram_assoc, "lru")
+
+        stt_lines = stt_kb * 1024 // BLOCK_SIZE
+        if features.approx_assoc:
+            self.stt = TagArray(1, stt_lines, "fifo")
+            self.approx: Optional[ApproximateAssociativeArray] = (
+                ApproximateAssociativeArray(
+                    num_ways=stt_lines,
+                    num_cbfs=min(num_cbfs, max(1, stt_lines // num_comparators)),
+                    num_hashes=cbf_hashes,
+                    cbf_counters=cbf_counters,
+                    num_comparators=num_comparators,
+                    exact=exact_fa,
+                )
+            )
+        else:
+            if stt_lines % stt_assoc:
+                raise ValueError(
+                    f"{stt_kb}KB STT not divisible by {stt_assoc} ways"
+                )
+            self.stt = TagArray(stt_lines // stt_assoc, stt_assoc, "fifo")
+            self.approx = None
+
+        self.mshr = MSHR(mshr_entries, mshr_max_merge)
+        self.sram_read_latency = sram_read_latency
+        self.sram_write_latency = sram_write_latency
+        self.stt_read_latency = stt_read_latency
+        self.stt_write_latency = stt_write_latency
+
+        if features.use_predictor:
+            self.predictor = predictor or ReadLevelPredictor()
+        else:
+            self.predictor = None
+        self.arbiter = Arbiter(self.predictor)
+
+        if features.non_blocking:
+            self.swap = SwapBuffer(swap_entries)
+            self.tag_queue = TagQueue(
+                capacity=tag_queue_capacity,
+                read_latency=stt_read_latency,
+                write_latency=stt_write_latency,
+            )
+        else:
+            self.swap = SwapBuffer(0)
+            self.tag_queue = TagQueue(
+                capacity=1,
+                read_latency=stt_read_latency,
+                write_latency=stt_write_latency,
+            )
+
+        self._sram_busy_until = 0
+        self._stt_busy_until = 0      # blocking mode only
+        self._cache_busy_until = 0    # blocking mode: whole-cache gate
+        #: fill-time predicted levels keyed by block, applied at fill
+        self._pending_levels: dict = {}
+
+    # ==================================================================
+    # helpers
+    def _search_stt(self, block_addr: int) -> Tuple[Optional[int], int]:
+        """Search the STT tag array; returns ``(way_or_None, cycles)``.
+
+        The authoritative result comes from the tag array; the
+        approximation structure prices the search and records CBF
+        statistics.  Lines parked behind a reservation never hit.
+        """
+        set_idx, way = self.stt.lookup(block_addr)
+        if self.approx is not None:
+            result = self.approx.search(block_addr)
+            self.stats.tag_searches += 1
+            self.stats.tag_search_iterations += result.iterations
+            self.stats.cbf_tests += 1
+            self.stats.cbf_false_positives += result.false_positives
+            extra = max(0, result.cycles - 1)
+            self.stats.tag_search_stall_cycles += extra
+            return way, result.cycles
+        return way, 1
+
+    def _sram_op(self, cycle: int, is_write: bool) -> int:
+        """Run one SRAM bank operation; returns the data-ready cycle."""
+        start = max(cycle, self._sram_busy_until)
+        wait = start - cycle
+        if wait:
+            self.stats.bank_wait_cycles += wait
+        if is_write:
+            self.stats.sram_writes += 1
+            ready = start + self.sram_write_latency
+        else:
+            self.stats.sram_reads += 1
+            ready = start + self.sram_read_latency
+        self._sram_busy_until = start + 1  # pipelined
+        return ready
+
+    def _score_line_departure(
+        self, predicted_level: Optional[object], writes_observed: int
+    ) -> None:
+        """Figure 16 accounting when a block leaves the L1D for L2."""
+        if self.predictor is None:
+            return
+        verdict = ReadLevelPredictor.score_eviction(
+            predicted_level, writes_observed
+        )
+        if verdict == "true":
+            self.stats.pred_true += 1
+        elif verdict == "false":
+            self.stats.pred_false += 1
+        else:
+            self.stats.pred_neutral += 1
+
+    def _evict_to_l2(self, evicted: EvictedLine) -> Tuple[int, ...]:
+        """Account a line leaving the cache entirely."""
+        self.stats.evictions += 1
+        self.stats.evictions_to_l2 += 1
+        self._score_line_departure(
+            evicted.predicted_level, evicted.writes_observed
+        )
+        if evicted.dirty:
+            self.stats.dirty_writebacks += 1
+            return (evicted.block_addr,)
+        return ()
+
+    # ==================================================================
+    # structural-hazard pre-checks (check-then-commit)
+    def _sram_eviction_hazard(self, block_addr: int, cycle: int) -> Optional[str]:
+        """Can the SRAM bank absorb a reservation for *block_addr* now?
+
+        Returns None when safe, otherwise a reason string.  Must stay in
+        lockstep with :meth:`_reserve_in_sram` (same victim, same
+        destination decision).
+        """
+        can, victim = self.sram.peek_victim(block_addr)
+        if not can:
+            return "sram_all_reserved"
+        if victim is None:
+            return None  # free way: no eviction at all
+        decision = self.arbiter.eviction_destination(victim.fill_pc)
+        if decision.destination is Destination.L2:
+            return None  # leaves the cache; nothing on-chip to arrange
+        # destination STT: needs a swap-buffer register and a queue slot
+        if self.features.non_blocking:
+            if self.swap.is_full(cycle):
+                self.stats.swap_buffer_full_events += 1
+                self.stats.stt_write_stall_cycles += RETRY_INTERVAL
+                return "swap_full"
+            if self.tag_queue.is_full(cycle):
+                self.stats.tag_queue_full_events += 1
+                self.stats.stt_write_stall_cycles += RETRY_INTERVAL
+                return "tag_queue_full"
+        if not self.stt.can_reserve(victim.block_addr):
+            return "stt_all_reserved"
+        return None
+
+    # ==================================================================
+    # eviction / migration machinery
+    def _install_in_stt(
+        self,
+        block_addr: int,
+        cycle: int,
+        dirty: bool,
+        fill_pc: int,
+        predicted_level: Optional[object],
+        writes_observed: int = 0,
+        reads_observed: int = 0,
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """Install a line into the STT tag array (data write priced by the
+        caller).  Returns ``(way, writebacks)`` from any displaced victim.
+        """
+        set_idx, way, displaced = self.stt.install(
+            block_addr, cycle, dirty=dirty, fill_pc=fill_pc,
+            predicted_level=predicted_level,
+        )
+        line = self.stt.line(set_idx, way)
+        line.writes_observed = writes_observed
+        line.reads_observed = reads_observed
+        writebacks: Tuple[int, ...] = ()
+        if displaced is not None:
+            if self.approx is not None:
+                self.approx.note_evict(displaced.block_addr)
+            writebacks = self._evict_to_l2(displaced)
+        if self.approx is not None:
+            self.approx.note_install(block_addr, way)
+        return way, writebacks
+
+    def _handle_sram_eviction(
+        self, evicted: EvictedLine, cycle: int
+    ) -> Tuple[int, ...]:
+        """Route a line displaced from SRAM (Figure 9, eviction leg).
+
+        The hazard pre-check has already guaranteed resources; this method
+        commits the move.
+        """
+        decision = self.arbiter.eviction_destination(evicted.fill_pc)
+        if decision.destination is Destination.L2:
+            return self._evict_to_l2(evicted)
+
+        # SRAM -> STT migration.
+        self.stats.migrations_sram_to_stt += 1
+        self.stats.stt_writes += 1
+        if self.features.non_blocking:
+            completion = self.tag_queue.enqueue("migrate", cycle)
+            self.swap.stage(
+                evicted.block_addr,
+                cycle,
+                release_cycle=completion,
+                dirty=evicted.dirty,
+                fill_pc=evicted.fill_pc,
+                predicted_level=evicted.predicted_level,
+            )
+        else:
+            # Hybrid: the STT write blocks the whole cache.
+            start = max(cycle, self._stt_busy_until)
+            completion = start + self.stt_write_latency
+            self._stt_busy_until = completion
+            self._cache_busy_until = max(self._cache_busy_until, completion)
+            self.stats.stt_write_stall_cycles += completion - cycle
+        _, writebacks = self._install_in_stt(
+            evicted.block_addr,
+            cycle,
+            dirty=evicted.dirty,
+            fill_pc=evicted.fill_pc,
+            predicted_level=evicted.predicted_level,
+            writes_observed=evicted.writes_observed,
+            reads_observed=evicted.reads_observed,
+        )
+        return writebacks
+
+    # ==================================================================
+    def _observe(self, request: MemoryRequest) -> None:
+        if self.predictor is not None:
+            self.predictor.observe(request)
+
+    def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
+        is_write = request.is_write
+        block = request.block_addr
+
+        # Blocking mode (Hybrid): while an STT-MRAM write is in flight the
+        # L1D cannot accept requests at all -- the access is rejected and
+        # the SM's pipeline stalls (Section IV-A's motivation for the swap
+        # buffer and tag queue).
+        if not self.features.non_blocking and cycle < self._cache_busy_until:
+            gate_wait = min(self._cache_busy_until - cycle, RETRY_INTERVAL)
+            self.stats.stt_write_stall_cycles += gate_wait
+            self.stats.bank_wait_cycles += gate_wait
+            self.stats.reservation_fails += 1
+            return AccessResult(
+                AccessOutcome.RESERVATION_FAIL, cycle, (), block
+            )
+
+        self.stats.tag_lookups += 1
+
+        # ---- 1. SRAM bank -------------------------------------------------
+        s_set, s_way = self.sram.lookup(block)
+        if s_way is not None:
+            self.stats.hits += 1
+            self.stats.sram_hits += 1
+            if is_write:
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            self.sram.touch(s_set, s_way, is_write)
+            ready = self._sram_op(cycle, is_write)
+            return AccessResult(AccessOutcome.HIT, ready, (), block)
+
+        # ---- 2. swap buffer ----------------------------------------------
+        if self.features.non_blocking and self.swap.touch(block, cycle, is_write):
+            self.stats.hits += 1
+            self.stats.swap_buffer_hits += 1
+            if is_write:
+                self.stats.write_hits += 1
+                # keep the (already installed) STT copy's metadata honest
+                set_idx, way = self.stt.lookup(block)
+                if way is not None:
+                    self.stt.touch(set_idx, way, True)
+            else:
+                self.stats.read_hits += 1
+            return AccessResult(AccessOutcome.HIT, cycle + 1, (), block)
+
+        # ---- 3. STT-MRAM bank ---------------------------------------------
+        stt_way, search_cycles = self._search_stt(block)
+        if stt_way is not None:
+            return self._serve_stt_hit(
+                request, cycle, stt_way, search_cycles
+            )
+
+        # ---- 4. miss path ---------------------------------------------------
+        return self._handle_miss(request, cycle)
+
+    # ------------------------------------------------------------------
+    def _serve_stt_hit(
+        self,
+        request: MemoryRequest,
+        cycle: int,
+        way: int,
+        search_cycles: int,
+    ) -> AccessResult:
+        block = request.block_addr
+        set_idx = self.stt.set_index(block)
+        is_write = request.is_write
+
+        if not is_write:
+            # Read hit: ride the tag queue (or the blocking bank).
+            if self.features.non_blocking:
+                if self.tag_queue.is_full(cycle):
+                    self.stats.tag_queue_full_events += 1
+                    self.stats.stt_write_stall_cycles += RETRY_INTERVAL
+                    self.stats.reservation_fails += 1
+                    return AccessResult(
+                        AccessOutcome.RESERVATION_FAIL, cycle, (), block
+                    )
+                ready = self.tag_queue.enqueue(
+                    "read", cycle, extra_search_cycles=search_cycles - 1
+                )
+            else:
+                start = max(cycle, self._stt_busy_until)
+                wait = start - cycle
+                if wait:
+                    self.stats.stt_write_stall_cycles += wait
+                    self.stats.bank_wait_cycles += wait
+                ready = start + search_cycles - 1 + self.stt_read_latency
+                self._stt_busy_until = start + 1
+            self.stats.hits += 1
+            self.stats.stt_hits += 1
+            self.stats.read_hits += 1
+            self.stats.stt_reads += 1
+            self.stt.touch(set_idx, way, False)
+            return AccessResult(AccessOutcome.HIT, ready, (), block)
+
+        # Store hit on STT-MRAM.
+        if self.arbiter.migrate_on_stt_write_hit():
+            return self._migrate_stt_to_sram(request, cycle, search_cycles)
+
+        # Write in place: the queue holds no payloads, so flush it first
+        # (Section IV-A), then pay the 5-cycle write.
+        if self.features.non_blocking:
+            drain_done, _ = self.tag_queue.flush(cycle)
+            self.stats.tag_queue_flushes += 1
+            self.stats.stt_write_stall_cycles += drain_done - cycle
+            start = drain_done
+            ready = start + search_cycles - 1 + self.stt_write_latency
+            self.tag_queue.occupy_until(ready)
+        else:
+            start = max(cycle, self._stt_busy_until)
+            wait = start - cycle
+            if wait:
+                self.stats.stt_write_stall_cycles += wait
+                self.stats.bank_wait_cycles += wait
+            ready = start + search_cycles - 1 + self.stt_write_latency
+            self._stt_busy_until = ready
+            self._cache_busy_until = max(self._cache_busy_until, ready)
+        self.stats.hits += 1
+        self.stats.stt_hits += 1
+        self.stats.write_hits += 1
+        self.stats.stt_writes += 1
+        self.stt.touch(self.stt.set_index(request.block_addr), way, True)
+        return AccessResult(AccessOutcome.HIT, ready, (), request.block_addr)
+
+    # ------------------------------------------------------------------
+    def _migrate_stt_to_sram(
+        self, request: MemoryRequest, cycle: int, search_cycles: int
+    ) -> AccessResult:
+        """Dy-FUSE store-hit-on-STT misprediction path (Section III-A):
+        read the line out of STT-MRAM, invalidate it there, install it in
+        SRAM and let SRAM serve the store."""
+        block = request.block_addr
+
+        # The SRAM side must be able to take the line first.
+        hazard = self._sram_eviction_hazard(block, cycle)
+        if hazard is not None:
+            self.stats.reservation_fails += 1
+            return AccessResult(
+                AccessOutcome.RESERVATION_FAIL, cycle, (), block
+            )
+
+        drain_done, _ = self.tag_queue.flush(cycle)
+        self.stats.tag_queue_flushes += 1
+        self.stats.stt_write_stall_cycles += drain_done - cycle
+
+        snapshot = self.stt.invalidate(block)
+        if snapshot is None:  # pragma: no cover - guarded by caller
+            raise RuntimeError("migration source vanished")
+        if self.approx is not None:
+            self.approx.note_evict(block)
+        self.stats.stt_reads += 1
+        self.stats.migrations_stt_to_sram += 1
+        read_done = drain_done + search_cycles - 1 + self.stt_read_latency
+        self.tag_queue.occupy_until(read_done)
+
+        _, _, displaced = self.sram.install(
+            block,
+            cycle,
+            dirty=True,  # the store makes it dirty immediately
+            fill_pc=snapshot.fill_pc,
+            predicted_level=ReadLevel.WM,
+        )
+        line = self.sram.line(*self.sram.lookup(block))
+        line.writes_observed = snapshot.writes_observed + 1
+        line.reads_observed = snapshot.reads_observed
+        writebacks: Tuple[int, ...] = ()
+        if displaced is not None:
+            writebacks = self._handle_sram_eviction(displaced, cycle)
+
+        ready = self._sram_op(read_done, is_write=True)
+        self.stats.hits += 1
+        self.stats.stt_hits += 1
+        self.stats.write_hits += 1
+        return AccessResult(AccessOutcome.HIT, ready, writebacks, block)
+
+    # ------------------------------------------------------------------
+    def _handle_miss(
+        self, request: MemoryRequest, cycle: int
+    ) -> AccessResult:
+        block = request.block_addr
+
+        if self.mshr.probe(block):
+            if not self.mshr.can_merge(block):
+                self.stats.reservation_fails += 1
+                return AccessResult(
+                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
+                )
+            self.mshr.merge(block, request)
+            self.stats.merged_misses += 1
+            return AccessResult(AccessOutcome.HIT_PENDING, cycle, (), block)
+
+        if self.mshr.full():
+            self.stats.reservation_fails += 1
+            return AccessResult(AccessOutcome.RESERVATION_FAIL, cycle, (), block)
+
+        decision = self.arbiter.fill_destination(request.pc)
+        writebacks: Tuple[int, ...] = ()
+
+        if decision.destination is Destination.SRAM:
+            hazard = self._sram_eviction_hazard(block, cycle)
+            if hazard is not None:
+                self.stats.reservation_fails += 1
+                return AccessResult(
+                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
+                )
+            _, _, evicted = self.sram.reserve(block, cycle)
+            if evicted is not None:
+                writebacks = self._handle_sram_eviction(evicted, cycle)
+            destination = "sram"
+        else:
+            if not self.stt.can_reserve(block):
+                self.stats.reservation_fails += 1
+                return AccessResult(
+                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
+                )
+            _, way, evicted = self.stt.reserve(block, cycle)
+            if evicted is not None:
+                if self.approx is not None:
+                    self.approx.note_evict(evicted.block_addr)
+                writebacks = self._evict_to_l2(evicted)
+            destination = "stt"
+
+        entry = self.mshr.allocate(
+            block, request, destination=destination, cycle=cycle
+        )
+        entry.reserved_way = -1
+        self.stats.misses += 1
+        # Remember the level that motivated the placement; scored on
+        # eviction (Figure 16).
+        self._pending_levels[block] = decision.level
+        return AccessResult(AccessOutcome.MISS, cycle, writebacks, block)
+
+    # ------------------------------------------------------------------
+    def fill(self, block_addr: int, cycle: int) -> FillResult:
+        entry = self.mshr.release(block_addr)
+        level = self._pending_levels.pop(block_addr, None)
+        primary = entry.requests[0]
+
+        if entry.destination == "sram":
+            set_idx, way = self.sram.fill(
+                block_addr,
+                cycle,
+                is_write=primary.is_write,
+                fill_pc=primary.pc,
+                predicted_level=level,
+            )
+            ready = self._sram_op(cycle, is_write=True)
+            line = self.sram.line(set_idx, way)
+        else:
+            set_idx, way = self.stt.fill(
+                block_addr,
+                cycle,
+                is_write=primary.is_write,
+                fill_pc=primary.pc,
+                predicted_level=level,
+            )
+            if self.approx is not None:
+                self.approx.note_install(block_addr, way)
+            self.stats.stt_writes += 1
+            if self.features.non_blocking:
+                ready = self.tag_queue.enqueue("fill", cycle, force=True)
+            else:
+                start = max(cycle, self._stt_busy_until)
+                ready = start + self.stt_write_latency
+                self._stt_busy_until = ready
+                self._cache_busy_until = max(self._cache_busy_until, ready)
+            line = self.stt.line(set_idx, way)
+
+        for merged in entry.requests[1:]:
+            if merged.is_write:
+                line.dirty = True
+                line.writes_observed += 1
+            else:
+                line.reads_observed += 1
+
+        self.stats.fills += 1
+        return FillResult(ready, list(entry.requests), ())
+
+    # ------------------------------------------------------------------
+    def flush_metadata(self) -> None:
+        """Score predictor decisions for lines still resident at the end
+        of the run (they never got an eviction to be scored on)."""
+        if self.predictor is None:
+            return
+        for line in self.sram.iter_valid_lines():
+            self._score_line_departure(line.predicted_level, line.writes_observed)
+        for line in self.stt.iter_valid_lines():
+            self._score_line_departure(line.predicted_level, line.writes_observed)
+
+    # convenience for tests -------------------------------------------------
+    def resident_in_sram(self, block_addr: int) -> bool:
+        """True when *block_addr* is valid in the SRAM bank."""
+        return self.sram.lookup(block_addr)[1] is not None
+
+    def resident_in_stt(self, block_addr: int) -> bool:
+        """True when *block_addr* is valid in the STT bank."""
+        return self.stt.lookup(block_addr)[1] is not None

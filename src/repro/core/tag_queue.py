@@ -1,0 +1,165 @@
+"""Tag queue: the non-blocking front of the STT-MRAM bank (Section IV-A).
+
+STT-MRAM service latency varies (tag-search iterations, 5-cycle writes),
+which would stall the SM pipeline.  FUSE interposes a 16-entry FIFO of
+pending STT-MRAM operations -- each entry carries only a command type, tag
+and index, so it is cheap.  Operations supported:
+
+* ``read``  -- a load that hit in the STT-MRAM bank,
+* ``fill``  -- an off-chip fill routed to the STT-MRAM bank,
+* ``F``     -- a migration from the swap buffer (SRAM eviction), the
+  paper's "F"-marked command.
+
+A *write update* to a block resident in STT-MRAM (a read-level
+misprediction) cannot ride the queue because the queue holds no 128-byte
+payloads; the controller must **flush** the queue first (Section IV-A
+observes this affects ~7% of requests).
+
+Timing: the queue models the bank as a FIFO server.  Enqueueing an
+operation at cycle ``c`` completes at ``max(c, previous completion) +
+latency``; queue occupancy is the set of operations not yet completed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+
+@dataclass(slots=True)
+class TagQueueStats:
+    """Lifetime counters for one tag queue."""
+
+    enqueued_reads: int = 0
+    enqueued_fills: int = 0
+    enqueued_migrations: int = 0
+    flushes: int = 0
+    flush_drain_cycles: int = 0
+    full_rejections: int = 0
+
+
+class TagQueue:
+    """FIFO service queue in front of the STT-MRAM bank.
+
+    Args:
+        capacity: maximum simultaneously pending operations (Table I: 16).
+        read_latency: STT-MRAM read service time (1 cycle).
+        write_latency: STT-MRAM write service time (5 cycles); applies to
+            fills and "F" migrations.
+    """
+
+    _OP_LATENCY_KEY = {"read": "read", "fill": "write", "migrate": "write"}
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        read_latency: int = 1,
+        write_latency: int = 5,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.stats = TagQueueStats()
+        #: completion cycles of pending operations, oldest first
+        self._pending: Deque[int] = deque()
+        self._free_at = 0
+
+    # ------------------------------------------------------------------
+    def _prune(self, cycle: int) -> None:
+        pending = self._pending
+        while pending and pending[0] <= cycle:
+            pending.popleft()
+
+    def occupancy(self, cycle: int) -> int:
+        """Operations still pending at *cycle*."""
+        self._prune(cycle)
+        return len(self._pending)
+
+    def is_full(self, cycle: int) -> bool:
+        """True when no operation can be accepted at *cycle*."""
+        return self.occupancy(cycle) >= self.capacity
+
+    def free_at(self) -> int:
+        """Cycle at which the bank drains everything currently queued."""
+        return self._free_at
+
+    # ------------------------------------------------------------------
+    def _latency_of(self, op: str, extra_search_cycles: int) -> int:
+        kind = self._OP_LATENCY_KEY.get(op)
+        if kind is None:
+            raise ValueError(f"unknown tag-queue op {op!r}")
+        base = self.read_latency if kind == "read" else self.write_latency
+        return base + extra_search_cycles
+
+    def enqueue(
+        self,
+        op: str,
+        cycle: int,
+        extra_search_cycles: int = 0,
+        force: bool = False,
+    ) -> int:
+        """Enqueue an operation; returns its completion cycle.
+
+        Callers must check :meth:`is_full` first, except for *fills*: an
+        off-chip response cannot be refused, so fills pass ``force=True``
+        and queue beyond capacity (the MSHR is their real buffer).
+
+        Args:
+            op: ``"read"``, ``"fill"`` or ``"migrate"``.
+            cycle: arrival cycle.
+            extra_search_cycles: tag-search latency to serialise in front
+                of the bank operation (associativity approximation).
+            force: accept even when the queue is at capacity.
+
+        Raises:
+            RuntimeError: when the queue is full and *force* is False
+            (check-then-commit).
+        """
+        if self.is_full(cycle) and not force:
+            self.stats.full_rejections += 1
+            raise RuntimeError("tag queue enqueue() on a full queue")
+        start = max(cycle, self._free_at)
+        completion = start + self._latency_of(op, extra_search_cycles)
+        # Reads are pipelined (tag polling overlaps the next operation's
+        # data access), so they occupy the bank for a single cycle; MTJ
+        # writes hold it for the full write latency.
+        if op == "read":
+            self._free_at = start + 1
+        else:
+            self._free_at = completion
+        self._pending.append(completion)
+        if op == "read":
+            self.stats.enqueued_reads += 1
+        elif op == "fill":
+            self.stats.enqueued_fills += 1
+        else:
+            self.stats.enqueued_migrations += 1
+        return completion
+
+    def occupy_until(self, cycle: int) -> None:
+        """Hold the bank busy until *cycle* without a queued entry.
+
+        Used for operations the queue cannot carry (write updates and
+        migration reads happen directly against the bank after a flush).
+        """
+        self._free_at = max(self._free_at, cycle)
+
+    # ------------------------------------------------------------------
+    def flush(self, cycle: int) -> Tuple[int, int]:
+        """Drain every pending operation (write-update misprediction).
+
+        Returns ``(drain_complete_cycle, drained_count)``.  The caller then
+        performs its write starting from the drain-complete cycle.
+        """
+        self._prune(cycle)
+        drained = len(self._pending)
+        drain_done = max(cycle, self._free_at)
+        self.stats.flushes += 1
+        self.stats.flush_drain_cycles += drain_done - cycle
+        self._pending.clear()
+        # The bank is busy until the drain finishes.
+        self._free_at = drain_done
+        return drain_done, drained

@@ -1,0 +1,27 @@
+"""Energy and area models (the GPUWattch / CACTI / NVsim stand-ins).
+
+:mod:`repro.energy.model` turns a simulation result's event counters into
+per-component energy (Figures 1b and 17) using the bank-level numbers
+published in Table I.  :mod:`repro.energy.area` reproduces Table III's
+transistor-count estimation.
+"""
+
+from repro.energy.area import AreaReport, dy_fuse_area, l1_sram_area
+from repro.energy.model import (
+    EnergyConstants,
+    EnergyReport,
+    L1DEnergyParams,
+    compute_energy,
+    l1d_energy_params,
+)
+
+__all__ = [
+    "AreaReport",
+    "EnergyConstants",
+    "EnergyReport",
+    "L1DEnergyParams",
+    "compute_energy",
+    "dy_fuse_area",
+    "l1_sram_area",
+    "l1d_energy_params",
+]

@@ -1,0 +1,31 @@
+"""Cycle-approximate GPU substrate (the GPGPU-Sim stand-in).
+
+The simulator models what the paper measures: warps issuing instructions
+in order (1 per cycle per SM), memory instructions coalescing into
+128-byte transactions, a private per-SM L1D, and a shared memory system
+(interconnect + L2 + GDDR5 DRAM) reached on misses.  Pipeline micro-
+structure is abstracted; latency and contention are modelled through
+per-resource ``busy_until`` accounting plus an event heap for completions
+(see DESIGN.md section 5.1).
+"""
+
+from repro.gpu.coalescer import coalesce
+from repro.gpu.config import GPUConfig, fermi_like, volta_like
+from repro.gpu.scheduler import GTOScheduler, LRRScheduler, make_scheduler
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.stats import LatencyBreakdown, SimulationResult
+from repro.gpu.warp import Warp
+
+__all__ = [
+    "GPUConfig",
+    "GPUSimulator",
+    "GTOScheduler",
+    "LRRScheduler",
+    "LatencyBreakdown",
+    "SimulationResult",
+    "Warp",
+    "coalesce",
+    "fermi_like",
+    "make_scheduler",
+    "volta_like",
+]

@@ -1,0 +1,70 @@
+"""Warp schedulers.
+
+GPGPU-Sim's default scheduler for this class of study is greedy-then-
+oldest (GTO); loose round-robin (LRR) is the classic alternative.  In the
+event-driven SM model the scheduler's job reduces to picking one warp
+among those ready at the current cycle:
+
+* **GTO** keeps issuing from the same warp while it stays ready, falling
+  back to the oldest (lowest id) ready warp.
+* **LRR** picks the least-recently-issued ready warp.
+
+Both are deterministic, which the reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.gpu.warp import Warp
+
+
+class WarpScheduler(abc.ABC):
+    """Chooses which ready warp issues next."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(self, ready: Sequence[Warp], cycle: int) -> Warp:
+        """Pick one warp among *ready* (never empty)."""
+
+
+class GTOScheduler(WarpScheduler):
+    """Greedy-then-oldest."""
+
+    name = "gto"
+
+    def __init__(self) -> None:
+        self._current: Optional[int] = None
+
+    def select(self, ready: Sequence[Warp], cycle: int) -> Warp:
+        if self._current is not None:
+            for warp in ready:
+                if warp.warp_id == self._current:
+                    return warp
+        chosen = min(ready, key=lambda w: w.warp_id)
+        self._current = chosen.warp_id
+        return chosen
+
+
+class LRRScheduler(WarpScheduler):
+    """Loose round-robin (least-recently-issued first)."""
+
+    name = "lrr"
+
+    def select(self, ready: Sequence[Warp], cycle: int) -> Warp:
+        return min(ready, key=lambda w: (w.last_issue, w.warp_id))
+
+
+def make_scheduler(name: str) -> WarpScheduler:
+    """Instantiate a scheduler by name (``gto`` or ``lrr``).
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    if name == "gto":
+        return GTOScheduler()
+    if name == "lrr":
+        return LRRScheduler()
+    raise ValueError(f"unknown scheduler {name!r}; known: gto, lrr")

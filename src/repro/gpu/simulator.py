@@ -1,0 +1,171 @@
+"""Top-level GPU simulator.
+
+A hybrid cycle/event loop (DESIGN.md section 5.1):
+
+* while any SM has a ready warp, the clock advances one cycle at a time
+  and each such SM issues at most one instruction;
+* when nothing can issue, the clock jumps to the next completion event
+  (memory responses, retry timers), avoiding dead per-cycle work while
+  warps wait out hundred-cycle DRAM round trips.
+
+Each SM owns a **private** L1D instance (built by the supplied factory),
+mirroring the per-SM L1D caches of the real machine; the memory subsystem
+(interconnect + L2 + DRAM) is shared.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, List, Optional
+
+from repro.cache.interface import L1DCacheModel
+from repro.gpu.config import GPUConfig
+from repro.gpu.scheduler import make_scheduler
+from repro.gpu.sm import SM
+from repro.gpu.stats import (
+    SimulationResult,
+    merge_cache_stats,
+)
+from repro.gpu.warp import Warp
+from repro.memory.subsystem import MemorySubsystem
+from repro.workloads.trace import WarpInstruction
+
+
+class GPUSimulator:
+    """Drives SMs, private L1Ds and the shared memory system to completion.
+
+    Args:
+        config: machine description.
+        l1d_factory: zero-argument callable returning a fresh L1D model;
+            called once per SM.
+        warp_streams: callable ``(sm_id, warp_id) -> iterator`` producing
+            each warp's instruction stream.
+        warps_per_sm: active warps per SM (defaults to the machine limit).
+        max_cycles: safety valve; the run aborts (with a clear error)
+            if the workload has not drained by then.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        l1d_factory: Callable[[], L1DCacheModel],
+        warp_streams: Callable[[int, int], Iterable[WarpInstruction]],
+        warps_per_sm: Optional[int] = None,
+        max_cycles: int = 50_000_000,
+    ) -> None:
+        self.config = config
+        self.memory = MemorySubsystem(config)
+        self.max_cycles = max_cycles
+        self._events: List = []
+        self._event_seq = 0
+        self.cycle = 0
+        self._wakeups: set = set()
+
+        active_warps = warps_per_sm or config.warps_per_sm
+        if active_warps > config.warps_per_sm:
+            raise ValueError(
+                f"{active_warps} warps exceed the machine limit "
+                f"{config.warps_per_sm}"
+            )
+        self.sms: List[SM] = []
+        for sm_id in range(config.num_sms):
+            warps = [
+                Warp(warp_id, iter(warp_streams(sm_id, warp_id)))
+                for warp_id in range(active_warps)
+            ]
+            self.sms.append(
+                SM(
+                    sm_id=sm_id,
+                    l1d=l1d_factory(),
+                    warps=warps,
+                    scheduler=make_scheduler(config.scheduler),
+                    simulator=self,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def schedule(self, cycle: int, callback, *args) -> None:
+        """Schedule ``callback(*args, cycle=fire_cycle)`` at *cycle*."""
+        if cycle < self.cycle:
+            cycle = self.cycle
+        self._event_seq += 1
+        heapq.heappush(self._events, (cycle, self._event_seq, callback, args))
+
+    def note_warp_ready(self, sm_id: int) -> None:
+        """An SM regained a ready warp (wakes the issue loop)."""
+        self._wakeups.add(sm_id)
+
+    # ------------------------------------------------------------------
+    def _run_due_events(self) -> None:
+        events = self._events
+        while events and events[0][0] <= self.cycle:
+            _, _, callback, args = heapq.heappop(events)
+            callback(*args, self.cycle)
+
+    def _next_interesting_cycle(self) -> Optional[int]:
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        for sm in self.sms:
+            when = sm.next_event_time(self.cycle)
+            if when is not None:
+                candidates.append(when)
+        if not candidates:
+            return None
+        return max(min(candidates), self.cycle + 1)
+
+    # ------------------------------------------------------------------
+    def run(self, workload_name: str = "", config_name: str = "") -> SimulationResult:
+        """Simulate until every warp drains; returns the result bundle.
+
+        Raises:
+            RuntimeError: when ``max_cycles`` elapses first (misconfigured
+                workload or a genuine deadlock -- the error message says
+                which SMs were stuck).
+        """
+        while True:
+            self._run_due_events()
+
+            issued_any = False
+            for sm in self.sms:
+                if sm.try_issue(self.cycle):
+                    issued_any = True
+
+            if issued_any or self._wakeups:
+                self._wakeups.clear()
+                self.cycle += 1
+            else:
+                nxt = self._next_interesting_cycle()
+                if nxt is None:
+                    if all(sm.done for sm in self.sms):
+                        break
+                    stuck = [sm.sm_id for sm in self.sms if not sm.done]
+                    raise RuntimeError(
+                        f"deadlock at cycle {self.cycle}: SMs {stuck} have "
+                        "blocked warps but no pending events"
+                    )
+                self.cycle = nxt
+
+            if self.cycle > self.max_cycles:
+                raise RuntimeError(
+                    f"exceeded max_cycles={self.max_cycles}; aborting"
+                )
+
+        # drain any same-cycle stragglers and finish bookkeeping
+        self._run_due_events()
+        for sm in self.sms:
+            sm.l1d.flush_metadata()
+
+        return SimulationResult(
+            config_name=config_name,
+            workload_name=workload_name,
+            cycles=self.cycle,
+            instructions=sum(sm.instructions for sm in self.sms),
+            l1d=merge_cache_stats(sm.l1d.stats for sm in self.sms),
+            memory=self.memory.finalize_stats(),
+            issue_busy_cycles=sum(sm.issue_busy_cycles for sm in self.sms),
+            num_sms=len(self.sms),
+            load_transactions=sum(sm.load_transactions for sm in self.sms),
+            store_transactions=sum(sm.store_transactions for sm in self.sms),
+            retries=sum(sm.retries for sm in self.sms),
+        )

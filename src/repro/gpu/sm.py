@@ -1,0 +1,273 @@
+"""Streaming multiprocessor model.
+
+Each SM owns a private L1D, up to 48 warps and one issue port
+(``issue_width`` = 1, matching the in-order shader cores of Section II-A).
+Per cycle the scheduler picks one ready warp:
+
+* a **compute block** occupies the issue port for ``count`` cycles and
+  credits ``count`` instructions -- identical IPC accounting to issuing
+  the instructions one by one, at O(1) simulation cost;
+* a **memory instruction** hands its coalesced transactions to the LSU,
+  which presents them to the L1D one per cycle.  Loads block the warp
+  until every transaction's data returns; stores retire once the L1D
+  accepts them (write-back semantics -- the store's cost surfaces as bank
+  occupancy and write-backs, not as warp stall).
+
+``RESERVATION_FAIL`` results retry after ``RETRY_INTERVAL`` cycles, which
+is how structural hazards (MSHR full, tag-queue full, swap-buffer full,
+all-ways-reserved) convert into the stall cycles of Figure 15.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.cache.interface import (
+    RETRY_INTERVAL,
+    AccessOutcome,
+    L1DCacheModel,
+)
+from repro.cache.request import AccessType, MemoryRequest
+from repro.gpu.scheduler import WarpScheduler
+from repro.gpu.warp import Warp
+from repro.workloads.trace import COMPUTE, LOAD, WarpInstruction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpu.simulator import GPUSimulator
+
+#: Retries per transaction before the simulator declares livelock.
+MAX_RETRIES = 100_000
+
+
+class SM:
+    """One streaming multiprocessor plus its private L1D."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        l1d: L1DCacheModel,
+        warps: List[Warp],
+        scheduler: WarpScheduler,
+        simulator: "GPUSimulator",
+    ) -> None:
+        self.sm_id = sm_id
+        self.l1d = l1d
+        self.warps = warps
+        self.scheduler = scheduler
+        self.sim = simulator
+        self.port_busy_until = 0
+        self.issue_busy_cycles = 0
+        self.lsu_stall_cycles = 0
+        self.instructions = 0
+        self.load_transactions = 0
+        self.store_transactions = 0
+        self.retries = 0
+        self._done = False
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True when every warp has drained and nothing is outstanding."""
+        if self._done:
+            return True
+        self._done = all(
+            warp.done and not warp.blocked for warp in self.warps
+        )
+        return self._done
+
+    def ready_warps(self, cycle: int) -> List[Warp]:
+        """Warps able to issue at *cycle*."""
+        return [
+            warp
+            for warp in self.warps
+            if not warp.done and not warp.blocked and warp.ready_at <= cycle
+        ]
+
+    def next_event_time(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which this SM could issue.
+
+        None when every remaining warp is blocked on memory (an event will
+        wake them) or the SM is done.
+        """
+        if self.done:
+            return None
+        candidates = [
+            warp.ready_at
+            for warp in self.warps
+            if not warp.done and not warp.blocked
+        ]
+        if not candidates:
+            return None
+        return max(min(candidates), self.port_busy_until, cycle)
+
+    # ------------------------------------------------------------------
+    def try_issue(self, cycle: int) -> bool:
+        """Issue at most one instruction; True when something issued."""
+        if cycle < self.port_busy_until:
+            return False
+        # Fast path for GTO (the default): the greedily-held warp is very
+        # often still ready, so skip building the full ready list.
+        warp = None
+        current = getattr(self.scheduler, "_current", None)
+        if current is not None and current < len(self.warps):
+            candidate = self.warps[current]
+            if (
+                not candidate.done
+                and not candidate.blocked
+                and candidate.ready_at <= cycle
+            ):
+                warp = candidate
+        if warp is None:
+            ready = self.ready_warps(cycle)
+            if not ready:
+                return False
+            warp = self.scheduler.select(ready, cycle)
+        instruction = warp.next_instruction()
+        if instruction is None:
+            return False
+        warp.last_issue = cycle
+        if instruction.kind == COMPUTE:
+            self._issue_compute(warp, instruction, cycle)
+        else:
+            self._issue_memory(warp, instruction, cycle)
+        return True
+
+    def _issue_compute(
+        self, warp: Warp, instruction: WarpInstruction, cycle: int
+    ) -> None:
+        span = instruction.count
+        self.port_busy_until = cycle + span
+        self.issue_busy_cycles += span
+        warp.ready_at = cycle + span
+        warp.instructions_issued += span
+        self.instructions += span
+
+    def _issue_memory(
+        self, warp: Warp, instruction: WarpInstruction, cycle: int
+    ) -> None:
+        self.port_busy_until = cycle + 1
+        self.issue_busy_cycles += 1
+        warp.instructions_issued += 1
+        warp.memory_instructions += 1
+        self.instructions += 1
+
+        is_load = instruction.kind == LOAD
+        access_type = AccessType.LOAD if is_load else AccessType.STORE
+        transactions = instruction.transactions
+        if not transactions:
+            warp.ready_at = cycle + 1
+            return
+        if is_load:
+            warp.block_on(len(transactions))
+            self.load_transactions += len(transactions)
+        else:
+            # stores retire at issue; bank pressure is modelled in the cache
+            warp.ready_at = cycle + 1
+            self.store_transactions += len(transactions)
+
+        for lane, block_addr in enumerate(transactions):
+            request = MemoryRequest(
+                address=block_addr << 7,
+                access_type=access_type,
+                pc=instruction.pc,
+                sm_id=self.sm_id,
+                warp_id=warp.warp_id,
+                issue_cycle=cycle + lane,
+            )
+            # the LSU presents one transaction per cycle
+            self._present(request, warp if is_load else None, cycle + lane, 0)
+
+    # ------------------------------------------------------------------
+    def _present(
+        self,
+        request: MemoryRequest,
+        waiting_warp: Optional[Warp],
+        cycle: int,
+        attempts: int,
+    ) -> None:
+        """Present one transaction to the L1D, retrying on hazards."""
+        if attempts > MAX_RETRIES:
+            raise RuntimeError(
+                f"livelock: transaction 0x{request.address:x} on SM "
+                f"{self.sm_id} exceeded {MAX_RETRIES} retries"
+            )
+        result = self.l1d.access(request, cycle)
+
+        for dirty_block in result.writebacks:
+            self.sim.memory.issue_writeback(dirty_block, self.sm_id, cycle)
+
+        outcome = result.outcome
+        if outcome is AccessOutcome.HIT:
+            if waiting_warp is not None:
+                self.sim.schedule(
+                    result.ready_cycle,
+                    self._complete_load,
+                    waiting_warp,
+                )
+            return
+        if outcome is AccessOutcome.HIT_PENDING:
+            # the fill's completion list will include this request
+            return
+        if outcome is AccessOutcome.MISS:
+            completion, _ = self.sim.memory.issue_read(
+                request.block_addr, self.sm_id, cycle
+            )
+            self.sim.schedule(completion, self._handle_fill, request.block_addr)
+            return
+        if outcome is AccessOutcome.MISS_BYPASS:
+            if request.is_write:
+                # a bypassed store is write traffic straight to L2
+                self.sim.memory.issue_writeback(
+                    request.block_addr, self.sm_id, cycle
+                )
+            else:
+                completion, _ = self.sim.memory.issue_read(
+                    request.block_addr, self.sm_id, cycle
+                )
+                if waiting_warp is not None:
+                    self.sim.schedule(
+                        completion, self._complete_load, waiting_warp
+                    )
+            return
+        # RESERVATION_FAIL: the LSU cannot hand the transaction over, so
+        # the in-order memory pipeline backs up and the SM's issue port
+        # stalls until the retry -- this is how cache thrashing (MSHR and
+        # way exhaustion) throttles the whole SM, the paper's motivating
+        # pathology for the small L1-SRAM.
+        self.retries += 1
+        retry_at = cycle + RETRY_INTERVAL
+        self.port_busy_until = max(self.port_busy_until, retry_at)
+        self.lsu_stall_cycles += RETRY_INTERVAL
+        self.sim.schedule(
+            retry_at,
+            self._retry,
+            request,
+            waiting_warp,
+            attempts + 1,
+        )
+
+    def _retry(
+        self,
+        request: MemoryRequest,
+        waiting_warp: Optional[Warp],
+        attempts: int,
+        cycle: int,
+    ) -> None:
+        """Event-loop adapter: re-present a rejected transaction."""
+        self._present(request, waiting_warp, cycle, attempts)
+
+    # ------------------------------------------------------------------
+    def _handle_fill(self, block_addr: int, cycle: int) -> None:
+        """Off-chip response arrived: fill the L1D, wake merged loads."""
+        fill = self.l1d.fill(block_addr, cycle)
+        for dirty_block in fill.writebacks:
+            self.sim.memory.issue_writeback(dirty_block, self.sm_id, cycle)
+        for request in fill.completed:
+            if request.access_type is AccessType.LOAD:
+                warp = self.warps[request.warp_id]
+                self.sim.schedule(fill.ready_cycle, self._complete_load, warp)
+
+    def _complete_load(self, warp: Warp, cycle: int) -> None:
+        """One of the warp's pending load transactions finished."""
+        if warp.complete_transaction(cycle):
+            self.sim.note_warp_ready(self.sm_id)

@@ -1,0 +1,93 @@
+"""Warp state tracking.
+
+A warp is an iterator over :class:`~repro.workloads.trace.WarpInstruction`
+plus the scoreboard-ish state the SM needs: when it may issue next
+(``ready_at``), how many load transactions it is blocked on
+(``outstanding``), and lifetime counters.
+
+GPU warps are never context-switched out (their registers stay resident,
+Section II-A), so a warp here lives from construction to stream
+exhaustion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.workloads.trace import WarpInstruction
+
+
+class Warp:
+    """One warp's execution state within an SM."""
+
+    __slots__ = (
+        "warp_id",
+        "stream",
+        "ready_at",
+        "outstanding",
+        "done",
+        "instructions_issued",
+        "memory_instructions",
+        "last_issue",
+        "_lookahead",
+    )
+
+    def __init__(self, warp_id: int, stream: Iterator[WarpInstruction]) -> None:
+        self.warp_id = warp_id
+        self.stream = stream
+        self.ready_at = 0
+        self.outstanding = 0
+        self.done = False
+        self.instructions_issued = 0
+        self.memory_instructions = 0
+        self.last_issue = -1
+        self._lookahead: Optional[WarpInstruction] = None
+
+    # ------------------------------------------------------------------
+    def next_instruction(self) -> Optional[WarpInstruction]:
+        """Consume and return the next instruction; None when exhausted."""
+        if self._lookahead is not None:
+            instruction = self._lookahead
+            self._lookahead = None
+            return instruction
+        try:
+            return next(self.stream)
+        except StopIteration:
+            self.done = True
+            return None
+
+    def peek(self) -> Optional[WarpInstruction]:
+        """Look at the next instruction without consuming it."""
+        if self._lookahead is None:
+            try:
+                self._lookahead = next(self.stream)
+            except StopIteration:
+                self.done = True
+                return None
+        return self._lookahead
+
+    # ------------------------------------------------------------------
+    @property
+    def blocked(self) -> bool:
+        """True while the warp waits on outstanding load transactions."""
+        return self.outstanding > 0
+
+    def block_on(self, transactions: int) -> None:
+        """Mark the warp blocked on *transactions* pending loads."""
+        self.outstanding += transactions
+
+    def complete_transaction(self, cycle: int) -> bool:
+        """One pending load finished; True when the warp became ready."""
+        if self.outstanding <= 0:
+            raise RuntimeError("complete_transaction() without pending loads")
+        self.outstanding -= 1
+        if self.outstanding == 0:
+            self.ready_at = max(self.ready_at, cycle)
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else (
+            "blocked" if self.blocked else f"ready@{self.ready_at}"
+        )
+        return f"Warp({self.warp_id}, {state}, issued={self.instructions_issued})"

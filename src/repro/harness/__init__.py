@@ -1,0 +1,12 @@
+"""Experiment harness: runners, experiment definitions and reporting.
+
+Every figure/table bench in ``benchmarks/`` calls into
+:mod:`repro.harness.experiments`; the shared :class:`~repro.harness.
+runner.Runner` memoises (configuration, workload) simulation results so a
+pytest session that regenerates Figures 13-17 runs each simulation once.
+"""
+
+from repro.harness.report import format_table, gmean, normalise
+from repro.harness.runner import Runner, default_runner
+
+__all__ = ["Runner", "default_runner", "format_table", "gmean", "normalise"]

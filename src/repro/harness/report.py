@@ -1,0 +1,72 @@
+"""Plain-text report helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's GMEANS bars).
+
+    Zero or negative values are clamped to a small epsilon so a single
+    degenerate run cannot zero the whole mean.
+
+    Raises:
+        ValueError: for an empty input.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("gmean() of empty sequence")
+    eps = 1e-9
+    return math.exp(
+        sum(math.log(max(v, eps)) for v in values) / len(values)
+    )
+
+
+def normalise(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every value by the baseline entry (figure normalisation).
+
+    Raises:
+        KeyError: when the baseline key is missing.
+    """
+    base = values[baseline_key]
+    if base == 0:
+        return {key: 0.0 for key in values}
+    return {key: value / base for key, value in values.items()}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table (what the bench targets print)."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        out.append(line(row))
+    return "\n".join(out)

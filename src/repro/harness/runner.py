@@ -1,0 +1,142 @@
+"""Simulation runner with result memoisation.
+
+The evaluation figures share runs extensively -- Figures 13, 14, 15, 16
+and 17 all consume the same (configuration, workload) matrix -- so the
+runner caches :class:`~repro.gpu.stats.SimulationResult` objects keyed by
+the full run identity.  ``default_runner()`` returns a process-wide
+instance, which is what the pytest bench session uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.factory import L1DConfig, l1d_config, make_l1d
+from repro.energy.model import compute_energy, l1d_energy_params
+from repro.gpu.config import GPUConfig, fermi_like, volta_like
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.stats import SimulationResult
+from repro.workloads.benchmarks import benchmark
+from repro.workloads.trace import TraceScale
+
+_GPU_PROFILES = {
+    "fermi": fermi_like,
+    "volta": volta_like,
+}
+
+_SCALES = {
+    "smoke": TraceScale.smoke,
+    "test": TraceScale.test,
+    "bench": TraceScale.bench,
+}
+
+
+class Runner:
+    """Builds, runs and memoises simulations.
+
+    Args:
+        gpu_profile: ``fermi`` (Table I) or ``volta`` (Figure 19).
+        scale: trace scale preset name (``smoke`` / ``test`` / ``bench``).
+        num_sms: override the profile's SM count (tests shrink it; the
+            bench harness also trims Volta's 84 SMs to keep pure-Python
+            runtimes sane -- IPC is reported per-SM-normalised so the
+            comparison is unaffected).
+    """
+
+    def __init__(
+        self,
+        gpu_profile: str = "fermi",
+        scale: str = "bench",
+        num_sms: Optional[int] = None,
+    ) -> None:
+        if gpu_profile not in _GPU_PROFILES:
+            raise ValueError(f"unknown gpu profile {gpu_profile!r}")
+        if scale not in _SCALES:
+            raise ValueError(f"unknown scale {scale!r}")
+        self.gpu_profile = gpu_profile
+        self.scale_name = scale
+        self.config: GPUConfig = _GPU_PROFILES[gpu_profile]()
+        if num_sms is not None:
+            self.config = self.config.with_overrides(num_sms=num_sms)
+        self.scale: TraceScale = _SCALES[scale]()
+        self._cache: Dict[Tuple, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        config_name: str,
+        workload_name: str,
+        l1d: Optional[L1DConfig] = None,
+        seed: int = 0,
+    ) -> SimulationResult:
+        """Run (or fetch) one simulation.
+
+        Args:
+            config_name: named Table I configuration, ignored when *l1d*
+                is given (the custom config's identity keys the cache).
+            workload_name: one of the 21 Table II benchmarks.
+            l1d: custom configuration (ratio sweeps, ablations).
+        """
+        cfg = l1d if l1d is not None else l1d_config(config_name)
+        key = (cfg, workload_name, self.gpu_profile, self.scale_name, seed,
+               self.config.num_sms)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        model = benchmark(
+            workload_name,
+            num_sms=self.config.num_sms,
+            warps_per_sm=self.scale.warps_per_sm,
+            scale=self.scale,
+            seed=seed,
+        )
+        simulator = GPUSimulator(
+            self.config,
+            l1d_factory=lambda: make_l1d(cfg),
+            warp_streams=model.streams(),
+            warps_per_sm=self.scale.warps_per_sm,
+        )
+        result = simulator.run(
+            workload_name=workload_name, config_name=cfg.name
+        )
+        result.energy = compute_energy(
+            result,
+            l1d_params=l1d_energy_params(cfg.name),
+            core_clock_ghz=self.config.core_clock_ghz,
+            net_hops=self.config.net_hops,
+        )
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def run_matrix(self, config_names, workload_names):
+        """Run a configs x workloads grid; returns nested dict
+        ``{workload: {config: result}}``."""
+        return {
+            workload: {
+                config: self.run(config, workload)
+                for config in config_names
+            }
+            for workload in workload_names
+        }
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+_DEFAULT_RUNNERS: Dict[Tuple[str, str, Optional[int]], Runner] = {}
+
+
+def default_runner(
+    gpu_profile: str = "fermi",
+    scale: str = "bench",
+    num_sms: Optional[int] = None,
+) -> Runner:
+    """Process-wide memoised runner (shared across bench modules)."""
+    key = (gpu_profile, scale, num_sms)
+    runner = _DEFAULT_RUNNERS.get(key)
+    if runner is None:
+        runner = Runner(gpu_profile=gpu_profile, scale=scale, num_sms=num_sms)
+        _DEFAULT_RUNNERS[key] = runner
+    return runner

@@ -1,0 +1,15 @@
+"""Shared off-chip memory system: interconnect, L2 banks, GDDR5 DRAM.
+
+An L1D miss leaves the SM, crosses the butterfly interconnect, probes a
+shared L2 bank and, on an L2 miss, queues at a GDDR5 channel.  The paper's
+motivation (Figure 1) is that this path dominates execution time and
+energy; the models here reproduce its latency structure and contention
+behaviour with per-resource ``busy_until`` accounting.
+"""
+
+from repro.memory.dram import DRAMChannel
+from repro.memory.interconnect import Interconnect
+from repro.memory.l2cache import L2Bank
+from repro.memory.subsystem import MemorySubsystem
+
+__all__ = ["DRAMChannel", "Interconnect", "L2Bank", "MemorySubsystem"]

@@ -1,0 +1,108 @@
+"""GDDR5 DRAM channel model.
+
+Table I configures 6 channels with tCL/tRCD/tRAS = 12/12/28 (DRAM
+cycles).  The model keeps per-bank row-buffer state and a shared data
+bus per channel:
+
+* **row hit**  -- pay tCL then burst,
+* **row closed** -- tRCD + tCL,
+* **row conflict** -- precharge (tRP, not before the row's activate has
+  aged tRAS) + tRCD + tCL.
+
+All timings convert to core cycles through ``dram_clock_ratio``.  The
+paper's argument that GPU DRAM is built for bandwidth rather than latency
+(wide, slow interface plus deep request queues, Section II-A2) shows up
+here as the large constant latency plus queueing at the bank and bus
+servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(slots=True)
+class _BankState:
+    open_row: int = -1
+    busy_until: int = 0
+    activate_cycle: int = -(10**9)
+
+
+class DRAMChannel:
+    """One GDDR5 channel: banks with row buffers plus a shared data bus."""
+
+    def __init__(self, channel_id: int, config: GPUConfig) -> None:
+        self.channel_id = channel_id
+        self.config = config
+        ratio = config.dram_clock_ratio
+        self.tCL = config.tCL * ratio
+        self.tRCD = config.tRCD * ratio
+        self.tRP = config.tRP * ratio
+        self.tRAS = config.tRAS * ratio
+        self.burst = config.dram_burst_cycles * ratio
+        self._banks: List[_BankState] = [
+            _BankState() for _ in range(config.dram_banks_per_channel)
+        ]
+        self._bus_busy_until = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.reads = 0
+        self.writes = 0
+        self.wait_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, block_addr: int) -> Tuple[int, int]:
+        """Map a (channel-stripped) block address to (bank, row)."""
+        blocks_per_row = self.config.blocks_per_dram_row
+        row_addr = block_addr // blocks_per_row
+        bank = row_addr % len(self._banks)
+        row = row_addr // len(self._banks)
+        return bank, row
+
+    # ------------------------------------------------------------------
+    def access(self, block_addr: int, cycle: int, is_write: bool) -> int:
+        """Service one 128-byte access; returns the completion cycle."""
+        bank_idx, row = self._locate(block_addr)
+        bank = self._banks[bank_idx]
+
+        # memory-controller request-queue processing precedes the bank
+        cycle = cycle + self.config.dram_controller_cycles
+        start = max(cycle, bank.busy_until)
+        self.wait_cycles += start - cycle
+
+        if bank.open_row == row:
+            self.row_hits += 1
+            command_latency = self.tCL
+        elif bank.open_row == -1:
+            self.row_misses += 1
+            bank.activate_cycle = start
+            command_latency = self.tRCD + self.tCL
+        else:
+            self.row_misses += 1
+            # precharge may not begin before the open row aged tRAS
+            start = max(start, bank.activate_cycle + self.tRAS)
+            bank.activate_cycle = start + self.tRP
+            command_latency = self.tRP + self.tRCD + self.tCL
+
+        data_ready = start + command_latency
+        bus_start = max(data_ready, self._bus_busy_until)
+        self.wait_cycles += bus_start - data_ready
+        completion = bus_start + self.burst
+        self._bus_busy_until = completion
+
+        bank.open_row = row
+        bank.busy_until = data_ready
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return completion
+
+    # ------------------------------------------------------------------
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,86 @@
+"""Shared L2 cache banks.
+
+Table I: 768 KB total (written "786KB" in the paper; 12 banks x 64 sets x
+8 ways x 128 B), ECC-protected, banks shared by all SMs, two banks per
+DRAM channel.  The paper attributes a large share of off-chip latency to
+the L2 (60x the L1D's when network and queueing are included); here the
+bank itself costs ``l2_service_cycles`` and the rest emerges from port
+and bank contention.
+
+Timing fidelity note: tag state updates are performed at access time
+("magic" in-order update) rather than through reservations; at L2 level
+the approximation only perturbs replacement decisions by in-flight
+windows, which is noise compared to the L1D effects the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.cache.tag_array import TagArray
+from repro.gpu.config import GPUConfig
+
+
+class L2Bank:
+    """One shared L2 bank (write-back, write-allocate, LRU)."""
+
+    def __init__(self, bank_id: int, config: GPUConfig) -> None:
+        self.bank_id = bank_id
+        self.config = config
+        self.tags = TagArray(config.l2_sets, config.l2_assoc, "lru")
+        self._busy_until = 0
+        self.hits = 0
+        self.misses = 0
+        self.write_accesses = 0
+        self.wait_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _bank_address(self, block_addr: int) -> int:
+        """Strip the bank-interleave bits so sets spread over the bank."""
+        return block_addr // self.config.l2_num_banks
+
+    def start_service(self, cycle: int) -> int:
+        """Acquire the bank; returns the service start cycle."""
+        start = max(cycle, self._busy_until)
+        self.wait_cycles += start - cycle
+        self._busy_until = start + self.config.l2_occupancy_cycles
+        return start
+
+    # ------------------------------------------------------------------
+    def probe(self, block_addr: int) -> bool:
+        """Tag check without state change (used by tests)."""
+        _, way = self.tags.lookup(self._bank_address(block_addr))
+        return way is not None
+
+    def access(
+        self, block_addr: int, is_write: bool, cycle: int
+    ) -> Tuple[int, bool, int]:
+        """Access the bank at *cycle* (bank already acquired by caller).
+
+        Returns ``(service_done_cycle, hit, dirty_victim_block)`` where
+        ``dirty_victim_block`` is -1 or the block address that must be
+        written back to DRAM because this access displaced it.
+        """
+        local = self._bank_address(block_addr)
+        set_idx, way = self.tags.lookup(local)
+        service_done = cycle + self.config.l2_service_cycles
+        if is_write:
+            self.write_accesses += 1
+        if way is not None:
+            self.hits += 1
+            self.tags.touch(set_idx, way, is_write)
+            return service_done, True, -1
+
+        self.misses += 1
+        victim_block = -1
+        if self.tags.can_reserve(local):
+            _, _, evicted = self.tags.install(
+                local, cycle, dirty=is_write
+            )
+            if evicted is not None and evicted.dirty:
+                # restore the interleave bits for the DRAM address
+                victim_block = (
+                    evicted.block_addr * self.config.l2_num_banks
+                    + self.bank_id
+                )
+        return service_done, False, victim_block

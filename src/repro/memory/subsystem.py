@@ -1,0 +1,134 @@
+"""The shared memory system an L1D miss traverses.
+
+``MemorySubsystem`` stitches interconnect, L2 banks and DRAM channels
+into the two operations the GPU simulator needs:
+
+* :meth:`issue_read` -- a read request for one block; returns the
+  completion cycle plus the per-component latency breakdown that feeds
+  Figure 1a.
+* :meth:`issue_writeback` -- fire-and-forget dirty-block traffic; it
+  consumes network/L2/DRAM bandwidth (so it congests reads, the paper's
+  write-pressure effect) but nobody waits on it.
+
+The whole object is pure ``busy_until`` arithmetic -- no event loop --
+which keeps the Python simulator fast while preserving queueing behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.stats import LatencyBreakdown, MemorySystemStats
+from repro.memory.dram import DRAMChannel
+from repro.memory.interconnect import Interconnect
+from repro.memory.l2cache import L2Bank
+
+
+class MemorySubsystem:
+    """Interconnect + shared L2 + GDDR5 DRAM."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.network = Interconnect(config)
+        self.l2_banks = [
+            L2Bank(bank_id, config) for bank_id in range(config.l2_num_banks)
+        ]
+        self.channels = [
+            DRAMChannel(channel_id, config)
+            for channel_id in range(config.dram_channels)
+        ]
+        self.stats = MemorySystemStats()
+
+    # ------------------------------------------------------------------
+    def _l2_bank_of(self, block_addr: int) -> L2Bank:
+        return self.l2_banks[block_addr % self.config.l2_num_banks]
+
+    def _channel_of(self, block_addr: int) -> DRAMChannel:
+        return self.channels[block_addr % self.config.dram_channels]
+
+    def _dram_block_addr(self, block_addr: int) -> int:
+        """Strip channel-interleave bits before bank/row mapping."""
+        return block_addr // self.config.dram_channels
+
+    # ------------------------------------------------------------------
+    def issue_read(self, block_addr: int, sm_id: int, cycle: int):
+        """Fetch one block for an L1D miss.
+
+        Returns:
+            ``(completion_cycle, LatencyBreakdown)`` -- the breakdown is
+            also accumulated into ``self.stats.latency``.
+        """
+        self.stats.reads += 1
+        arrive_l2, net_out = self.network.send_request(sm_id, cycle)
+        self.stats.request_flits += self.network.request_flits
+
+        bank = self._l2_bank_of(block_addr)
+        service_start = bank.start_service(arrive_l2)
+        l2_wait = service_start - arrive_l2
+        service_done, hit, victim = bank.access(
+            block_addr, is_write=False, cycle=service_start
+        )
+
+        dram_cycles = 0
+        if hit:
+            self.stats.l2_hits += 1
+            data_at = service_done
+        else:
+            self.stats.l2_misses += 1
+            channel = self._channel_of(block_addr)
+            dram_done = channel.access(
+                self._dram_block_addr(block_addr), service_done, is_write=False
+            )
+            self.stats.dram_reads += 1
+            if victim != -1:
+                # L2 victim writeback rides the same channel afterwards
+                victim_channel = self._channel_of(victim)
+                victim_channel.access(
+                    self._dram_block_addr(victim), dram_done, is_write=True
+                )
+                self.stats.dram_writes += 1
+            dram_cycles = dram_done - service_done
+            data_at = dram_done
+
+        completion, net_back = self.network.send_response(
+            bank.bank_id, data_at
+        )
+        self.stats.response_flits += self.network.response_flits
+
+        breakdown = LatencyBreakdown(
+            network=net_out + net_back,
+            l2=l2_wait + self.config.l2_service_cycles,
+            dram=dram_cycles,
+        )
+        self.stats.latency = self.stats.latency + breakdown
+        return completion, breakdown
+
+    # ------------------------------------------------------------------
+    def issue_writeback(self, block_addr: int, sm_id: int, cycle: int) -> None:
+        """Send one dirty block toward L2 (fire-and-forget)."""
+        self.stats.writebacks += 1
+        arrive_l2, _ = self.network.send_writeback(sm_id, cycle)
+        self.stats.request_flits += self.network.response_flits
+
+        bank = self._l2_bank_of(block_addr)
+        service_start = bank.start_service(arrive_l2)
+        _, hit, victim = bank.access(
+            block_addr, is_write=True, cycle=service_start
+        )
+        if hit:
+            self.stats.l2_hits += 1
+        else:
+            self.stats.l2_misses += 1
+        if victim != -1:
+            channel = self._channel_of(victim)
+            channel.access(
+                self._dram_block_addr(victim), service_start, is_write=True
+            )
+            self.stats.dram_writes += 1
+
+    # ------------------------------------------------------------------
+    def finalize_stats(self) -> MemorySystemStats:
+        """Fold per-component counters into the stats object."""
+        for channel in self.channels:
+            self.stats.dram_row_hits += channel.row_hits
+            self.stats.dram_row_misses += channel.row_misses
+        return self.stats

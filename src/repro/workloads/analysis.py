@@ -1,0 +1,113 @@
+"""Trace-level read-level analysis (Figure 6).
+
+The paper categorises data blocks by their reference pattern over the
+whole execution:
+
+* **WM** (write-multiple) -- the block is updated multiple times;
+* **read-intensive** -- a few writes but many reads;
+* **WORM** (write-once-read-multiple) -- written once (the fill) and then
+  only read;
+* **WORO** (write-once-read-once) -- referenced once; caching it buys
+  nothing.
+
+This module replays kernel traces *without* any cache model and counts
+per-block loads/stores, then classifies with the thresholds below
+(documented here because the paper gives the categories, not the exact
+cut-offs):
+
+* ``stores >= 2`` and ``loads >= 2 * stores``  -> read-intensive
+* ``stores >= 2`` otherwise                     -> WM
+* ``stores <= 1`` and ``loads >= 2``            -> WORM
+* everything else (touched at most twice)       -> WORO
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.trace import LOAD, STORE
+
+#: category keys in the Figure 6 legend order
+CATEGORIES = ("WM", "read-intensive", "WORM", "WORO")
+
+
+def classify_block(loads: int, stores: int) -> str:
+    """Classify one block from its lifetime load/store counts."""
+    if stores >= 2:
+        if loads >= 2 * stores:
+            return "read-intensive"
+        return "WM"
+    if loads >= 2:
+        return "WORM"
+    return "WORO"
+
+
+@dataclass
+class ReadLevelBreakdown:
+    """Figure 6's per-workload bar: category fractions.
+
+    Attributes:
+        block_fractions: share of distinct blocks per category.
+        access_fractions: share of accesses landing on each category's
+            blocks (weights hot blocks, useful for diagnostics).
+        total_blocks / total_accesses: population sizes.
+    """
+
+    block_fractions: Dict[str, float] = field(default_factory=dict)
+    access_fractions: Dict[str, float] = field(default_factory=dict)
+    total_blocks: int = 0
+    total_accesses: int = 0
+
+    def dominant(self) -> str:
+        """Category holding the largest block share."""
+        return max(CATEGORIES, key=lambda c: self.block_fractions.get(c, 0.0))
+
+
+def read_level_analysis(
+    model: KernelModel, max_warps_per_sm: int | None = None
+) -> ReadLevelBreakdown:
+    """Replay *model*'s full trace and classify every touched block.
+
+    Args:
+        model: an instantiated kernel model.
+        max_warps_per_sm: optionally analyse only the first N warps per SM
+            (the mix converges quickly; tests use small N for speed).
+    """
+    loads: Counter = Counter()
+    stores: Counter = Counter()
+    warps = max_warps_per_sm or model.warps_per_sm
+
+    for sm_id in range(model.num_sms):
+        for warp_id in range(min(warps, model.warps_per_sm)):
+            for instruction in model.warp_stream(sm_id, warp_id):
+                if instruction.kind == LOAD:
+                    for block in instruction.transactions:
+                        loads[block] += 1
+                elif instruction.kind == STORE:
+                    for block in instruction.transactions:
+                        stores[block] += 1
+
+    block_counts: Counter = Counter()
+    access_counts: Counter = Counter()
+    for block in set(loads) | set(stores):
+        category = classify_block(loads[block], stores[block])
+        block_counts[category] += 1
+        access_counts[category] += loads[block] + stores[block]
+
+    total_blocks = sum(block_counts.values())
+    total_accesses = sum(access_counts.values())
+    return ReadLevelBreakdown(
+        block_fractions={
+            cat: block_counts[cat] / total_blocks if total_blocks else 0.0
+            for cat in CATEGORIES
+        },
+        access_fractions={
+            cat: access_counts[cat] / total_accesses if total_accesses else 0.0
+            for cat in CATEGORIES
+        },
+        total_blocks=total_blocks,
+        total_accesses=total_accesses,
+    )

@@ -1,0 +1,87 @@
+"""Benchmark registry: the 21 workloads of Table II.
+
+``benchmark(name, ...)`` instantiates a kernel model; ``all_benchmarks``
+iterates the registry in the paper's figure order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.mars import (
+    InvertedIndex,
+    PageViewCount,
+    PageViewRank,
+    SimilarityScore,
+    StringMatch,
+)
+from repro.workloads.parboil import Histo, MriG
+from repro.workloads.polybench import (
+    ATAX,
+    BICG,
+    FDTD2D,
+    GEMM,
+    GESUMMV,
+    MVT,
+    SYR2K,
+    ThreeMM,
+    TwoDConv,
+    TwoMM,
+)
+from repro.workloads.rodinia import CFD, Gaussian, Pathfinder, SradV1
+from repro.workloads.trace import TraceScale
+
+#: registry in the order Figures 13/14/16/17 plot their x-axes
+_REGISTRY: Dict[str, Type[KernelModel]] = {
+    cls.name: cls
+    for cls in (
+        TwoDConv, TwoMM, ThreeMM, ATAX, BICG, CFD, FDTD2D, Gaussian,
+        GEMM, GESUMMV, InvertedIndex, MVT, PageViewCount, PageViewRank,
+        Pathfinder, SimilarityScore, SradV1, StringMatch, SYR2K,
+        MriG, Histo,
+    )
+}
+
+
+def benchmark_names() -> List[str]:
+    """All benchmark names in figure order."""
+    return list(_REGISTRY)
+
+
+def benchmark(
+    name: str,
+    num_sms: int,
+    warps_per_sm: int,
+    scale: TraceScale | None = None,
+    seed: int = 0,
+) -> KernelModel:
+    """Instantiate one benchmark's kernel model.
+
+    Raises:
+        ValueError: for unknown benchmark names.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(benchmark_names())
+        raise ValueError(f"unknown benchmark {name!r}; known: {known}")
+    return cls(num_sms=num_sms, warps_per_sm=warps_per_sm, scale=scale, seed=seed)
+
+
+def all_benchmarks(
+    num_sms: int,
+    warps_per_sm: int,
+    scale: TraceScale | None = None,
+) -> Iterator[KernelModel]:
+    """Instantiate every benchmark (figure order)."""
+    for name in benchmark_names():
+        yield benchmark(name, num_sms, warps_per_sm, scale)
+
+
+def benchmark_class(name: str) -> Type[KernelModel]:
+    """The model class itself (metadata access without instantiation)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}")

@@ -1,0 +1,118 @@
+"""Kernel-model base class.
+
+A :class:`KernelModel` stands in for one CUDA benchmark: given the
+machine shape (SMs x warps) and a :class:`~repro.workloads.trace.
+TraceScale`, it emits a deterministic per-warp instruction stream whose
+memory behaviour mirrors the benchmark's documented loop structure.
+
+Work partitioning follows the usual GPU convention: the iteration space
+is split over *global* warp ids, and models that rely on L1D locality
+(stencils, pivot-row reuse) assign adjacent work to warps of the same SM,
+because L1Ds are private per SM.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterator, List
+
+from repro.workloads.trace import TraceScale, WarpInstruction
+
+
+class KernelModel(abc.ABC):
+    """One benchmark's synthetic kernel.
+
+    Class attributes carry Table II metadata:
+
+    Attributes:
+        name: benchmark name as printed in the paper's figures.
+        suite: PolyBench / Rodinia / Parboil / Mars.
+        apki_paper: Table II's access-per-kilo-instruction.
+        bypass_paper: Table II's By-NVM bypass ratio.
+        irregular: True for the column-walk / gather workloads the paper
+            calls irregular.
+        description: one-line behavioural summary.
+    """
+
+    name: str = "abstract"
+    suite: str = "none"
+    apki_paper: float = 10.0
+    bypass_paper: float = 0.5
+    irregular: bool = False
+    description: str = ""
+
+    def __init__(
+        self,
+        num_sms: int,
+        warps_per_sm: int,
+        scale: TraceScale | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.num_sms = num_sms
+        self.warps_per_sm = warps_per_sm
+        self.scale = scale or TraceScale()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    @property
+    def total_warps(self) -> int:
+        return self.num_sms * self.warps_per_sm
+
+    def global_warp(self, sm_id: int, warp_id: int) -> int:
+        """Global warp index (work-partitioning key)."""
+        return sm_id * self.warps_per_sm + warp_id
+
+    def rng_for(self, sm_id: int, warp_id: int) -> random.Random:
+        """Deterministic per-warp RNG."""
+        return random.Random(
+            (hash(self.name) & 0xFFFF) * 1_000_003
+            + self.seed * 7919
+            + self.global_warp(sm_id, warp_id)
+        )
+
+    def scaled(self, value: int) -> int:
+        """Apply the working-set scale knob to an array dimension."""
+        return max(1, int(value * self.scale.working_set_scale))
+
+    #: densest warp-level access stream we model (caps simulation cost for
+    #: the extreme Table II rows like SM's APKI of 140)
+    EFFECTIVE_APKI_CAP = 400.0
+
+    @property
+    def effective_apki(self) -> float:
+        """Warp-level access density the compute pads are sized for
+        (Table II's thread-level APKI times the scale's density factor)."""
+        return min(
+            self.apki_paper * self.scale.apki_scale, self.EFFECTIVE_APKI_CAP
+        )
+
+    def iterations_for(self, txns_per_iter: float, fraction: float = 1.0) -> int:
+        """Loop trip count that lands the padded stream near the
+        instruction target (never below one full iteration)."""
+        slots = 1000.0 * txns_per_iter / self.effective_apki
+        target = self.scale.target_instructions * fraction
+        return max(1, round(target / slots))
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def warp_stream(
+        self, sm_id: int, warp_id: int
+    ) -> Iterator[WarpInstruction]:
+        """The warp's instruction stream (deterministic per warp)."""
+
+    def streams(self):
+        """Adapter with the ``(sm_id, warp_id) -> iterable`` signature the
+        simulator expects."""
+        return self.warp_stream
+
+    # ------------------------------------------------------------------
+    def materialise(self, sm_id: int, warp_id: int) -> List[WarpInstruction]:
+        """Fully expand one warp's stream (analysis and tests)."""
+        return list(self.warp_stream(sm_id, warp_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(sms={self.num_sms}, "
+            f"warps={self.warps_per_sm}, scale={self.scale})"
+        )

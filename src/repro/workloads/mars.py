@@ -1,0 +1,189 @@
+"""Mars (GPU MapReduce) kernel models: II, PVC, PVR, SS, SM.
+
+Mars workloads stream input records and emit key/value pairs through hash
+functions, which gives them the scatter-write behaviour the paper calls
+out: PVC, PVR and SS carry large write-multiple fractions (Figure 6) that
+punish a pure STT-MRAM L1D, while SM (string match) is a read-intense
+scanner with almost no dead blocks (bypass 0.02).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.patterns import (
+    WARP_BYTES,
+    coalesced_load,
+    coalesced_store,
+    interleave,
+    region,
+    zipf_indices,
+)
+from repro.workloads.trace import (
+    WarpInstruction,
+    load_instruction,
+    store_instruction,
+)
+
+
+class _MarsKernel(KernelModel):
+    suite = "Mars"
+
+
+    def _hash_rmw(self, pc: int, table: region.__class__, rng, lanes=8):
+        """A skewed hash-bucket read-modify-write pair."""
+        addresses = [
+            table.addr(idx * 4)
+            for idx in zipf_indices(rng, table.size // 4, lanes=lanes)
+        ]
+        return [
+            load_instruction(pc, addresses),
+            store_instruction(pc + 8, addresses),
+        ]
+
+
+class InvertedIndex(_MarsKernel):
+    """II: scan documents, append postings to hash buckets."""
+
+    name = "II"
+    apki_paper = 77.0
+    bypass_paper = 0.54
+    description = "inverted indexing, document scan + bucket appends"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        docs = region(0, 1 << 24)
+        buckets = region(1, 1 << 20)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(11)
+
+        def memory():
+            for i in range(iters):
+                base = gwarp * 64 * WARP_BYTES + i * 3 * WARP_BYTES
+                for t in range(3):
+                    yield coalesced_load(
+                        0x1100 + 8 * t, docs, base + t * WARP_BYTES
+                    )
+                yield from self._hash_rmw(0x1120, buckets, rng, lanes=8)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class PageViewCount(_MarsKernel):
+    """PVC: aggregate page-view counters -- the canonical WM workload."""
+
+    name = "PVC"
+    apki_paper = 37.0
+    bypass_paper = 0.18
+    description = "page-view counting, hot counter RMW"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        log = region(0, 1 << 24)
+        counters = region(1, 1 << 17)  # 128KB of counters, very hot
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(14)
+
+        def memory():
+            for i in range(iters):
+                base = gwarp * 32 * WARP_BYTES + i * 2 * WARP_BYTES
+                yield coalesced_load(0x1200, log, base)
+                yield coalesced_load(0x1208, log, base + WARP_BYTES)
+                yield from self._hash_rmw(0x1210, counters, rng, lanes=6)
+                yield from self._hash_rmw(0x1220, counters, rng, lanes=6)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class PageViewRank(_MarsKernel):
+    """PVR: rank updates over a link stream (lighter RMW than PVC)."""
+
+    name = "PVR"
+    apki_paper = 14.0
+    bypass_paper = 0.33
+    description = "page ranking, link stream + rank RMW"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        links = region(0, 1 << 24)
+        ranks = region(1, 1 << 19)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(10)
+
+        def memory():
+            for i in range(iters):
+                base = gwarp * 32 * WARP_BYTES + i * 2 * WARP_BYTES
+                yield coalesced_load(0x1300, links, base)
+                yield coalesced_load(0x1308, links, base + WARP_BYTES)
+                yield from self._hash_rmw(0x1310, ranks, rng, lanes=8)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class SimilarityScore(_MarsKernel):
+    """SS: pairwise similarity -- vector streams plus an accumulator tile
+    that is re-written per pair (high WM share, bypass 0.80 on the
+    streamed vectors)."""
+
+    name = "SS"
+    apki_paper = 30.0
+    bypass_paper = 0.80
+    description = "similarity scores, vector streams + accumulators"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        vectors_a = region(0, 1 << 24)
+        vectors_b = region(1, 1 << 24)
+        scores = region(2, 1 << 19)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(6)
+
+        def memory():
+            score_off = gwarp * WARP_BYTES
+            for i in range(iters):
+                base = gwarp * 64 * WARP_BYTES + i * 2 * WARP_BYTES
+                yield coalesced_load(0x1400, vectors_a, base)
+                yield coalesced_load(0x1408, vectors_a, base + WARP_BYTES)
+                yield coalesced_load(0x1410, vectors_b, base)
+                yield coalesced_load(0x1418, vectors_b, base + WARP_BYTES)
+                yield coalesced_load(0x1420, scores, score_off)
+                yield coalesced_store(0x1428, scores, score_off)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class StringMatch(_MarsKernel):
+    """SM: scan a text stream against a small keyword table that is
+    re-read constantly -- Table II's densest access stream (APKI 140)
+    with almost no dead blocks (bypass 0.02)."""
+
+    name = "SM"
+    apki_paper = 140.0
+    bypass_paper = 0.02
+    description = "string matching, hot keyword table"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        text = region(0, 1 << 24)
+        keywords = region(1, 1 << 13)  # 8KB keyword table, always resident
+        matches = region(2, 1 << 19)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(6)
+
+        def memory():
+            for i in range(iters):
+                base = gwarp * 64 * WARP_BYTES + i * 4 * WARP_BYTES
+                for t in range(4):
+                    yield coalesced_load(
+                        0x1500 + 8 * t, text, base + t * WARP_BYTES
+                    )
+                key_off = (i % (keywords.size // WARP_BYTES)) * WARP_BYTES
+                yield coalesced_load(0x1520, keywords, key_off)
+                yield coalesced_load(0x1528, keywords, key_off + WARP_BYTES)
+                if i % 16 == 15:
+                    yield coalesced_store(
+                        0x1530, matches, gwarp * WARP_BYTES
+                    )
+
+        yield from interleave(memory(), self.effective_apki, rng)

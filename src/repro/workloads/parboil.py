@@ -1,0 +1,101 @@
+"""Parboil kernel models (histo, mri-g).
+
+Parboil's scientific/commercial throughput kernels contribute the two
+scatter-accumulate workloads: histogramming (skewed hot bins) and MRI
+gridding (samples scattered into a 3D grid).  Both produce the
+write-multiple hot blocks the paper routes into SRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.patterns import (
+    WARP_BYTES,
+    coalesced_load,
+    interleave,
+    region,
+    zipf_indices,
+)
+from repro.workloads.trace import (
+    WarpInstruction,
+    load_instruction,
+    store_instruction,
+)
+
+
+class _ParboilKernel(KernelModel):
+    suite = "Parboil"
+
+
+
+class Histo(_ParboilKernel):
+    """Histogramming: stream pixels, scatter-increment skewed bins.
+
+    The hot bins are read-modify-written constantly (WM); the input
+    stream is read-once.
+    """
+
+    name = "histo"
+    apki_paper = 9.6
+    bypass_paper = 0.63
+    description = "histogram, hot-bin scatter RMW"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        pixels = region(0, 1 << 24)
+        bins = region(1, 1 << 18)  # 256KB of bins; hot head
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(12)
+
+        def memory():
+            for i in range(iters):
+                base = gwarp * 64 * WARP_BYTES + i * 4 * WARP_BYTES
+                for t in range(4):
+                    yield coalesced_load(
+                        0xF00 + 8 * t, pixels, base + t * WARP_BYTES
+                    )
+                lanes = [
+                    bins.addr(idx * 4)
+                    for idx in zipf_indices(rng, bins.size // 4)
+                ]
+                yield load_instruction(0xF20, lanes)
+                yield store_instruction(0xF28, lanes)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class MriG(_ParboilKernel):
+    """MRI gridding: read sample stream, accumulate into grid cells near
+    the sample trajectory (spatially-clustered scatter, low bypass)."""
+
+    name = "mri-g"
+    apki_paper = 3.3
+    bypass_paper = 0.13
+    description = "gridding scatter-accumulate"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        samples = region(0, 1 << 24)
+        grid = region(1, 1 << 22)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(8)
+
+        def memory():
+            # each warp's trajectory clusters around a moving grid centre,
+            # so its scatter targets re-hit recently-written blocks
+            centre = (gwarp * 997 * WARP_BYTES) % grid.size
+            for i in range(iters):
+                off = gwarp * 32 * WARP_BYTES + i * 2 * WARP_BYTES
+                yield coalesced_load(0x1000, samples, off)
+                yield coalesced_load(0x1008, samples, off + WARP_BYTES)
+                centre = (centre + rng.randrange(4) * WARP_BYTES) % grid.size
+                lanes = [
+                    grid.addr(centre + (lane % 4) * WARP_BYTES + lane * 4)
+                    for lane in range(32)
+                ]
+                yield load_instruction(0x1010, lanes)
+                yield store_instruction(0x1018, lanes)
+
+        yield from interleave(memory(), self.effective_apki, rng)

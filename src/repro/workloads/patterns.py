@@ -1,0 +1,194 @@
+"""Address-pattern building blocks for the kernel models.
+
+Every benchmark model composes a handful of archetypal GPU access
+patterns; centralising them keeps the 21 kernels short and makes the
+patterns unit-testable in isolation:
+
+* :func:`coalesced_load` / :func:`coalesced_store` -- unit-stride warp
+  access: 32 threads x 4 B = one 128-byte transaction.
+* :func:`strided_load` -- column walks through row-major arrays (stride
+  >= 128 B): 32 transactions per instruction, the signature of the
+  paper's "irregular" workloads (ATAX, BICG, MVT, ...).
+* :func:`gather_load` / :func:`scatter_store` -- per-lane random indices
+  within a region (cfd's indirect neighbours, histogram bins, MapReduce
+  hash buckets).
+* :func:`interleave` -- pads a memory-instruction stream with compute
+  blocks so the measured APKI tracks a target (Table II calibration).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.workloads.trace import (
+    WarpInstruction,
+    compute_block,
+    load_instruction,
+    store_instruction,
+)
+
+#: lane element size; each thread reads/writes a 4-byte word
+ELEMENT = 4
+
+#: threads per warp
+WARP_LANES = 32
+
+#: bytes one fully-coalesced warp access covers
+WARP_BYTES = WARP_LANES * ELEMENT  # == 128, one block
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named array in the simulated global address space."""
+
+    base: int
+    size: int
+
+    def addr(self, offset: int) -> int:
+        """Byte address *offset* bytes into the region (wraps at size)."""
+        return self.base + (offset % self.size)
+
+    @property
+    def blocks(self) -> int:
+        return self.size // 128
+
+
+#: regions are spaced far apart so distinct arrays never share blocks
+_REGION_SPACING = 1 << 26
+
+
+def region(index: int, size: int) -> Region:
+    """Allocate the *index*-th array region of *size* bytes."""
+    if size <= 0:
+        raise ValueError("region size must be positive")
+    return Region(base=0x1000_0000 + index * _REGION_SPACING, size=size)
+
+
+# ----------------------------------------------------------------------
+def lane_addresses(base: int, stride: int) -> List[int]:
+    """Per-lane byte addresses for a warp access at *base* with *stride*."""
+    return [base + lane * stride for lane in range(WARP_LANES)]
+
+
+def coalesced_load(pc: int, reg: Region, offset: int) -> WarpInstruction:
+    """Unit-stride warp load of 128 consecutive bytes."""
+    return load_instruction(pc, lane_addresses(reg.addr(offset), ELEMENT))
+
+
+def coalesced_store(pc: int, reg: Region, offset: int) -> WarpInstruction:
+    """Unit-stride warp store of 128 consecutive bytes."""
+    return store_instruction(pc, lane_addresses(reg.addr(offset), ELEMENT))
+
+
+def strided_load(
+    pc: int, reg: Region, offset: int, stride: int, lanes: int = WARP_LANES
+) -> WarpInstruction:
+    """Column-walk load: lanes *stride* bytes apart (diverged when >= 128).
+
+    ``lanes < 32`` models partially-diverged warps (some lanes disabled
+    or coalescing into fewer distinct blocks)."""
+    return load_instruction(
+        pc, [reg.addr(offset + lane * stride) for lane in range(lanes)]
+    )
+
+
+def strided_store(
+    pc: int, reg: Region, offset: int, stride: int, lanes: int = WARP_LANES
+) -> WarpInstruction:
+    """Column-walk store."""
+    return store_instruction(
+        pc, [reg.addr(offset + lane * stride) for lane in range(lanes)]
+    )
+
+
+def gather_load(
+    pc: int, reg: Region, rng: random.Random, lanes: int = WARP_LANES
+) -> WarpInstruction:
+    """Random per-lane gather within *reg* (indirect reads)."""
+    return load_instruction(
+        pc,
+        [reg.addr(rng.randrange(reg.size) & ~3) for _ in range(lanes)],
+    )
+
+
+def scatter_store(
+    pc: int, reg: Region, rng: random.Random, lanes: int = WARP_LANES
+) -> WarpInstruction:
+    """Random per-lane scatter within *reg* (hash buckets, histogram bins)."""
+    return store_instruction(
+        pc,
+        [reg.addr(rng.randrange(reg.size) & ~3) for _ in range(lanes)],
+    )
+
+
+def rmw(
+    load_pc: int, store_pc: int, reg: Region, offset: int
+) -> List[WarpInstruction]:
+    """A coalesced read-modify-write pair (in-memory accumulators)."""
+    return [
+        coalesced_load(load_pc, reg, offset),
+        coalesced_store(store_pc, reg, offset),
+    ]
+
+
+# ----------------------------------------------------------------------
+def interleave(
+    memory_instructions: Iterable[WarpInstruction],
+    apki: float,
+    rng: random.Random,
+) -> Iterator[WarpInstruction]:
+    """Pad a memory stream with compute so measured APKI tracks *apki*.
+
+    APKI counts coalesced L1D transactions per thousand warp
+    instructions, so an instruction carrying ``t`` transactions earns
+    ``1000 * t / apki`` instruction slots.  The pad is jittered +-10% so
+    schedulers see realistic variation rather than a metronome.
+
+    Raises:
+        ValueError: for non-positive *apki*.
+    """
+    if apki <= 0:
+        raise ValueError("apki must be positive")
+    budget = 0.0
+    for instruction in memory_instructions:
+        transactions = max(1, len(instruction.transactions))
+        slots = 1000.0 * transactions / apki
+        budget += slots - 1  # the memory instruction occupies one slot
+        if budget >= 1.0:
+            jitter = rng.uniform(0.9, 1.1)
+            pad = max(1, int(budget * jitter))
+            pad = min(pad, int(budget) + 1)
+            yield compute_block(pad)
+            budget -= pad
+        yield instruction
+
+
+def take_instructions(
+    stream: Iterator[WarpInstruction], limit: int
+) -> Iterator[WarpInstruction]:
+    """Cut a stream after ~*limit* warp instructions (compute counts by
+    its collapsed ``count``)."""
+    issued = 0
+    for instruction in stream:
+        yield instruction
+        issued += instruction.count if instruction.kind == 0 else 1
+        if issued >= limit:
+            return
+
+
+def zipf_indices(
+    rng: random.Random, universe: int, hot_fraction: float = 0.1,
+    hot_probability: float = 0.7, lanes: int = WARP_LANES,
+) -> List[int]:
+    """Skewed random indices: *hot_probability* of lanes land in the hot
+    *hot_fraction* of the universe (histogram/page-view hot keys)."""
+    hot_size = max(1, int(universe * hot_fraction))
+    out = []
+    for _ in range(lanes):
+        if rng.random() < hot_probability:
+            out.append(rng.randrange(hot_size))
+        else:
+            out.append(rng.randrange(universe))
+    return out

@@ -1,0 +1,407 @@
+"""PolyBench kernel models (Table II rows citing suite [8]).
+
+These are the paper's polyhedral workloads: dense linear algebra with
+statically-analysable loop nests.  The memory-system behaviours that
+matter for FUSE:
+
+* **row-major streaming** (2DCONV, GESUMMV row phases) -- coalesced,
+  read-once or read-few input blocks (WORM / WORO);
+* **column walks** (ATAX/BICG/MVT transposed phases, GEMM's B operand) --
+  32-way diverged accesses whose block footprint collides in a handful of
+  sets, the conflict-miss pattern that makes these workloads "irregular"
+  and that the approximated fully-associative STT bank repairs;
+* **in-memory accumulators** (2MM/3MM/SYR2K) -- read-modify-write tiles
+  that produce the write-multiple (WM) blocks SRAM must absorb.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.patterns import (
+    WARP_BYTES,
+    coalesced_load,
+    coalesced_store,
+    interleave,
+    region,
+    strided_load,
+)
+from repro.workloads.trace import WarpInstruction
+
+
+class _PolyKernel(KernelModel):
+    suite = "PolyBench"
+
+
+
+class TwoDConv(_PolyKernel):
+    """3x3 convolution: 3 coalesced row reads per tile, one output store.
+
+    Adjacent rows are assigned to warps of the same SM, so the stencil
+    halo re-reads hit the private L1D -- the regular, WORM-dominated
+    pattern of Figure 6's leftmost bars.
+    """
+
+    name = "2DCONV"
+    apki_paper = 9.0
+    bypass_paper = 0.26
+    description = "2D 3x3 stencil, regular streaming"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        width = self.scaled(2048)
+        row_bytes = width * 4
+        src = region(0, 1 << 24)
+        dst = region(1, 1 << 24)
+        tiles_per_row = max(1, row_bytes // WARP_BYTES)
+        iters = self.iterations_for(4)
+        rows_per_warp = max(1, -(-iters // tiles_per_row))
+        row0 = (
+            sm_id * self.warps_per_sm + warp_id
+        ) * rows_per_warp
+
+        def memory():
+            emitted = 0
+            for r in range(rows_per_warp):
+                row = row0 + r
+                for tile in range(tiles_per_row):
+                    off = row * row_bytes + tile * WARP_BYTES
+                    yield coalesced_load(0x400, src, off - row_bytes)
+                    yield coalesced_load(0x408, src, off)
+                    yield coalesced_load(0x410, src, off + row_bytes)
+                    yield coalesced_store(0x418, dst, off)
+                    emitted += 1
+                    if emitted >= iters:
+                        return
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class _MatmulAccumulate(_PolyKernel):
+    """Shared machinery for 2MM/3MM: chained GEMMs whose intermediate
+    result matrices are written once per element (register-accumulated,
+    then stored) and partly re-read by the next phase.
+
+    These are the paper's write-heavy PolyBench rows: >40% of requests
+    are stores, and most of those stores are dead writes (Table II lists
+    By-NVM bypass ratios of 0.6 / 0.49), which is exactly what makes a
+    pure STT-MRAM L1D lose 43% on them.
+    """
+
+    phases = 2
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        n = self.scaled(512)
+        row_bytes = n * 4
+        operands = [region(i, 1 << 24) for i in range(2 * self.phases)]
+        results = [region(10 + i, 1 << 23) for i in range(self.phases)]
+        gwarp = self.global_warp(sm_id, warp_id)
+        # per iteration: operand load + output store (+ periodic extras)
+        iters = self.iterations_for(2.5, fraction=1.0 / self.phases)
+
+        def memory():
+            for phase in range(self.phases):
+                a_reg = operands[2 * phase]
+                b_reg = operands[2 * phase + 1]
+                out = results[phase]
+                prev = results[phase - 1] if phase else None
+                a_base = gwarp * 8 * WARP_BYTES
+                out_base = gwarp * iters * WARP_BYTES
+                pc0 = 0x500 + phase * 0x40
+                for k in range(iters):
+                    # A tile reused (8 blocks); B (or the previous phase's
+                    # result) streams read-once
+                    if k % 2 == 0:
+                        yield coalesced_load(
+                            pc0, a_reg, a_base + (k % 8) * WARP_BYTES
+                        )
+                    elif prev is not None:
+                        yield coalesced_load(
+                            pc0 + 8, prev, out_base + k * WARP_BYTES
+                        )
+                    else:
+                        yield coalesced_load(
+                            pc0 + 8, b_reg,
+                            gwarp * row_bytes + k * WARP_BYTES,
+                        )
+                    # the result element is stored once and not re-read in
+                    # this phase: a dead write from the L1D's viewpoint
+                    yield coalesced_store(
+                        pc0 + 16, out, out_base + k * WARP_BYTES
+                    )
+                    if k % 4 == 3:
+                        yield coalesced_store(
+                            pc0 + 24, out,
+                            out_base + (k + iters) * WARP_BYTES,
+                        )
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class TwoMM(_MatmulAccumulate):
+    """D = A.B; E = C.D with memory-resident accumulators (write-heavy)."""
+
+    name = "2MM"
+    apki_paper = 10.0
+    bypass_paper = 0.6
+    phases = 2
+    description = "two chained matmuls, accumulator RMW"
+
+
+class ThreeMM(_MatmulAccumulate):
+    """F = A.B; G = C.D; E = F.G -- three chained matmuls."""
+
+    name = "3MM"
+    apki_paper = 10.0
+    bypass_paper = 0.49
+    phases = 3
+    description = "three chained matmuls, accumulator RMW"
+
+
+class _TransposedMatVec(_PolyKernel):
+    """Shared machinery for ATAX / BICG / MVT.
+
+    Phase 1 streams the matrix row-wise (coalesced, with a reused vector
+    tile); phase 2 walks it column-wise with 32-way diverged loads whose
+    blocks land in ~4 cache sets (row pitch 2 KB against a 64-set L1D) --
+    the conflict-thrash signature of the paper's irregular workloads.
+    """
+
+    irregular = True
+
+    #: blocks in one warp's column band (8-lane strided loads x 2)
+    BAND_BLOCKS = 16
+    #: times each band is re-walked before moving on
+    WALKS_PER_BAND = 8
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        n = self.scaled(2048)  # 8 KB row pitch: a band folds into one set
+        row_bytes = n * 4
+        matrix = region(0, 1 << 24)
+        vec_x = region(1, row_bytes)
+        vec_tmp = region(2, 1 << 20)
+        vec_y = region(3, 1 << 20)
+        gwarp = self.global_warp(sm_id, warp_id)
+
+        row_iters = self.iterations_for(2, fraction=0.3)
+        # per walk: 2 strided loads (8 lanes each) + 1 tmp load = 17 txns
+        walk_budget = self.iterations_for(17, fraction=0.7)
+
+        def memory():
+            # phase 1: tmp = A x (row-wise streaming, x reused)
+            for i in range(row_iters):
+                off = gwarp * row_bytes + i * WARP_BYTES
+                yield coalesced_load(0x600, matrix, off)
+                yield coalesced_load(0x608, vec_x, i * WARP_BYTES)
+                if i % 32 == 31:
+                    yield coalesced_store(
+                        0x610, vec_tmp, gwarp * WARP_BYTES
+                    )
+            # phase 2: y = A^T tmp.  Each warp repeatedly walks a private
+            # 16-block column band laid out at the row pitch, so blocks
+            # collide into a handful of L1 sets (a 2 KB pitch against 64
+            # sets folds the band into 4 set indices).  The re-walk reuse
+            # is what a fully-associative STT bank captures and what a
+            # set-mapped cache conflicts away -- the paper's "irregular"
+            # signature.
+            for walk in range(walk_budget):
+                band = gwarp + (walk // self.WALKS_PER_BAND) * self.total_warps
+                base = (band * WARP_BYTES) % row_bytes
+                half = (self.BAND_BLOCKS // 2) * row_bytes
+                yield strided_load(0x620, matrix, base, row_bytes, lanes=8)
+                yield strided_load(
+                    0x628, matrix, base + half, row_bytes, lanes=8
+                )
+                yield coalesced_load(0x630, vec_tmp, gwarp * WARP_BYTES)
+                if walk % 8 == 7:
+                    yield coalesced_store(0x638, vec_y, gwarp * WARP_BYTES)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class ATAX(_TransposedMatVec):
+    """y = A^T (A x)."""
+
+    name = "ATAX"
+    apki_paper = 64.0
+    bypass_paper = 0.9
+    description = "matrix-transpose-vector product, column walks"
+
+
+class BICG(_TransposedMatVec):
+    """BiCGStab sub-kernels: q = A p and s = A^T r."""
+
+    name = "BICG"
+    apki_paper = 64.0
+    bypass_paper = 0.9
+    description = "BiCG sub-kernels, row + column walks"
+
+
+class MVT(_TransposedMatVec):
+    """x1 += A y1; x2 += A^T y2."""
+
+    name = "MVT"
+    apki_paper = 64.0
+    bypass_paper = 0.91
+    description = "mat-vec plus transposed mat-vec"
+
+
+class GEMM(_PolyKernel):
+    """C = alpha.A.B + beta.C with a column-accessed B operand.
+
+    The strided B walk makes GEMM both the highest-APKI workload in
+    Table II (136) and a conflict-miss victim that FA-FUSE repairs
+    (the paper reports 4.1x on irregular workloads).
+    """
+
+    name = "GEMM"
+    apki_paper = 136.0
+    bypass_paper = 0.61
+    irregular = True
+    description = "tiled matmul, strided B operand"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        n = self.scaled(512)
+        row_bytes = n * 4
+        mat_a = region(0, 1 << 24)
+        mat_b = region(1, 1 << 24)
+        mat_c = region(2, 1 << 22)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(17.5)
+
+        def memory():
+            c_off = gwarp * WARP_BYTES
+            walks_per_band = 8
+            for k in range(iters):
+                yield coalesced_load(
+                    0x700, mat_a, gwarp * row_bytes + k * WARP_BYTES
+                )
+                # B is consumed in re-walked column bands (same structure
+                # as the transposed mat-vecs: set-conflicting, reusable)
+                band = gwarp + (k // walks_per_band) * self.total_warps
+                base = (band * WARP_BYTES) % row_bytes
+                yield strided_load(0x708, mat_b, base, row_bytes, lanes=8)
+                yield strided_load(
+                    0x710, mat_b, base + 8 * row_bytes, row_bytes, lanes=8
+                )
+                if k % 4 == 3:
+                    yield coalesced_load(0x718, mat_c, c_off)
+                    yield coalesced_store(0x720, mat_c, c_off)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class GESUMMV(_PolyKernel):
+    """y = alpha.A.x + beta.B.x -- pure streaming, nothing re-read except
+    the x vector (Table II's highest By-NVM bypass ratio, 0.96)."""
+
+    name = "GESUMMV"
+    apki_paper = 12.0
+    bypass_paper = 0.96
+    irregular = True
+    description = "two streaming mat-vecs, read-once matrices"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        n = self.scaled(512)
+        row_bytes = n * 4
+        mat_a = region(0, 1 << 24)
+        mat_b = region(1, 1 << 24)
+        vec_x = region(2, row_bytes)
+        vec_y = region(3, 1 << 20)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(3)
+
+        def memory():
+            for i in range(iters):
+                off = gwarp * row_bytes + i * WARP_BYTES
+                yield coalesced_load(0x800, mat_a, off)
+                yield coalesced_load(0x808, mat_b, off)
+                yield coalesced_load(0x810, vec_x, i * WARP_BYTES)
+                if i % 32 == 31:
+                    yield coalesced_store(0x818, vec_y, gwarp * WARP_BYTES)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class FDTD2D(_PolyKernel):
+    """Finite-difference time domain: three field arrays updated in
+    alternating half-steps, so blocks are written then re-read next step
+    (a read-intensive / WM mixture)."""
+
+    name = "FDTD"
+    apki_paper = 18.0
+    bypass_paper = 0.27
+    description = "multi-array stencil time loop"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        width = self.scaled(1024)
+        row_bytes = width * 4
+        field_ex = region(0, 1 << 22)
+        field_ey = region(1, 1 << 22)
+        field_hz = region(2, 1 << 22)
+        gwarp = self.global_warp(sm_id, warp_id)
+        timesteps = 3
+        iters = self.iterations_for(6, fraction=1.0 / timesteps)
+
+        def memory():
+            for _ in range(timesteps):
+                for i in range(iters):
+                    off = gwarp * row_bytes + i * WARP_BYTES
+                    # hz update reads ex/ey neighbourhoods
+                    yield coalesced_load(0x900, field_ex, off)
+                    yield coalesced_load(0x908, field_ey, off)
+                    yield coalesced_load(0x910, field_hz, off)
+                    yield coalesced_store(0x918, field_hz, off)
+                    # e-field half step reads hz back
+                    yield coalesced_load(0x920, field_hz, off - row_bytes)
+                    yield coalesced_store(0x928, field_ex, off)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class SYR2K(_PolyKernel):
+    """Symmetric rank-2k update: every k step re-updates the same C tile,
+    the strongest write-multiple workload in the suite (bypass 0.02 --
+    almost nothing is dead)."""
+
+    name = "SYR2K"
+    apki_paper = 108.0
+    bypass_paper = 0.02
+    description = "rank-2k update, heavy accumulator writes"
+
+    #: blocks in the warp's reused A-row tile set
+    A_TILE_BLOCKS = 16
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        n = self.scaled(512)
+        row_bytes = n * 4
+        mat_a = region(0, 1 << 24)
+        mat_b = region(1, 1 << 24)
+        mat_c = region(2, 1 << 22)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(4)
+
+        def memory():
+            # warp = one C row: its A-row tile set is re-read every j
+            # iteration (reuse), B rows stream (read-once), and the C
+            # accumulator block is read-modify-written constantly (the WM
+            # blocks that must stay out of STT-MRAM).
+            c_off = gwarp * WARP_BYTES
+            a_base = gwarp * self.A_TILE_BLOCKS * WARP_BYTES
+            for j in range(iters):
+                a_off = a_base + (j % self.A_TILE_BLOCKS) * WARP_BYTES
+                yield coalesced_load(0xA00, mat_a, a_off)
+                yield coalesced_load(
+                    0xA08, mat_b, j * row_bytes + gwarp * WARP_BYTES
+                )
+                yield coalesced_load(0xA10, mat_c, c_off)
+                yield coalesced_store(0xA18, mat_c, c_off)
+
+        yield from interleave(memory(), self.effective_apki, rng)

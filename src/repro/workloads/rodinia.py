@@ -1,0 +1,155 @@
+"""Rodinia kernel models (Table II rows for srad_v1, pathf, cfd, gaussian).
+
+Rodinia covers bioinformatics, data mining and classical algorithms; the
+four workloads the paper keeps are behaviourally diverse: two stencil
+image kernels (srad_v1, gaussian's row updates), one compute-dominated
+dynamic-programming wavefront (pathfinder, APKI 1.2) and one
+indirect-access unstructured-mesh solver (cfd).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.patterns import (
+    WARP_BYTES,
+    coalesced_load,
+    coalesced_store,
+    gather_load,
+    interleave,
+    region,
+)
+from repro.workloads.trace import WarpInstruction
+
+
+class _RodiniaKernel(KernelModel):
+    suite = "Rodinia"
+
+
+
+class Gaussian(_RodiniaKernel):
+    """Gaussian elimination: every warp re-reads the shared pivot row
+    (read-intensive) and rewrites its own row once per pass."""
+
+    name = "gaussian"
+    apki_paper = 8.5
+    bypass_paper = 0.36
+    description = "elimination passes, hot pivot row"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        n = self.scaled(1024)
+        row_bytes = n * 4
+        matrix = region(0, 1 << 24)
+        gwarp = self.global_warp(sm_id, warp_id)
+        passes = 4
+        iters = self.iterations_for(3, fraction=1.0 / passes)
+
+        def memory():
+            for p in range(passes):
+                pivot_row = p  # all warps share pass p's pivot row
+                for i in range(iters):
+                    tile = i * WARP_BYTES
+                    yield coalesced_load(
+                        0xB00, matrix, pivot_row * row_bytes + tile
+                    )
+                    own = (gwarp + p + 1) * row_bytes + tile
+                    yield coalesced_load(0xB08, matrix, own)
+                    yield coalesced_store(0xB10, matrix, own)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class SradV1(_RodiniaKernel):
+    """SRAD speckle-reducing diffusion: 4-neighbour stencil over an image
+    with a coefficient image written then re-read (two kernels)."""
+
+    name = "srad_v1"
+    apki_paper = 3.5
+    bypass_paper = 0.38
+    description = "diffusion stencil, two-image ping-pong"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        width = self.scaled(2048)
+        row_bytes = width * 4
+        image = region(0, 1 << 23)
+        coeff = region(1, 1 << 23)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(7)
+
+        def memory():
+            row0 = gwarp * 2
+            for i in range(iters):
+                off = (row0 + i // 8) * row_bytes + (i % 8) * WARP_BYTES
+                # kernel 1: diffusion coefficient from 4 neighbours
+                yield coalesced_load(0xC00, image, off - row_bytes)
+                yield coalesced_load(0xC08, image, off)
+                yield coalesced_load(0xC10, image, off + row_bytes)
+                yield coalesced_store(0xC18, coeff, off)
+                # kernel 2: update image from coefficients
+                yield coalesced_load(0xC20, coeff, off)
+                yield coalesced_load(0xC28, coeff, off + row_bytes)
+                yield coalesced_store(0xC30, image, off)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class Pathfinder(_RodiniaKernel):
+    """Dynamic-programming wavefront: tiny memory footprint, huge compute
+    pads (APKI 1.2); each row is written once and read by the next step
+    (WORM), so By-NVM bypasses almost everything (0.92)."""
+
+    name = "pathf"
+    apki_paper = 1.2
+    bypass_paper = 0.92
+    description = "DP wavefront, compute dominated"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        width = self.scaled(4096)
+        row_bytes = width * 4
+        grid = region(0, 1 << 22)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(3)
+
+        def memory():
+            col = (gwarp * WARP_BYTES) % row_bytes
+            for step in range(iters):
+                prev = (step % 16) * row_bytes + col
+                cur = ((step + 1) % 16) * row_bytes + col
+                yield coalesced_load(0xD00, grid, prev)
+                yield coalesced_load(0xD08, grid, prev + WARP_BYTES)
+                yield coalesced_store(0xD10, grid, cur)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+class CFD(_RodiniaKernel):
+    """Unstructured-mesh Euler solver: coalesced index loads followed by
+    random neighbour gathers (the irregular, low-APKI access mix)."""
+
+    name = "cfd"
+    apki_paper = 4.5
+    bypass_paper = 0.81
+    irregular = True
+    description = "unstructured mesh, indirect gathers"
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        elements = region(0, 1 << 23)
+        nodes = region(1, 1 << 23)
+        fluxes = region(2, 1 << 23)
+        gwarp = self.global_warp(sm_id, warp_id)
+        iters = self.iterations_for(20)
+
+        def memory():
+            for i in range(iters):
+                off = gwarp * 16 * WARP_BYTES + i * WARP_BYTES
+                yield coalesced_load(0xE00, elements, off)  # neighbour ids
+                yield gather_load(0xE08, nodes, rng, lanes=16)
+                yield coalesced_load(0xE10, nodes, off)
+                yield coalesced_store(0xE18, fluxes, off)
+
+        yield from interleave(memory(), self.effective_apki, rng)

@@ -1,0 +1,28 @@
+"""Benchmark-suite groupings (used by Figure 7b's per-suite averages)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: suite -> benchmark names, in the paper's figure order
+SUITES: Dict[str, List[str]] = {
+    "PolyBench": [
+        "2DCONV", "2MM", "3MM", "ATAX", "BICG", "FDTD", "GEMM",
+        "GESUMMV", "MVT", "SYR2K",
+    ],
+    "Rodinia": ["cfd", "gaussian", "pathf", "srad_v1"],
+    "Parboil": ["histo", "mri-g"],
+    "Mars": ["II", "PVC", "PVR", "SS", "SM"],
+}
+
+
+def suite_of(benchmark_name: str) -> str:
+    """Suite a benchmark belongs to.
+
+    Raises:
+        ValueError: for unknown benchmarks.
+    """
+    for suite, names in SUITES.items():
+        if benchmark_name in names:
+            return suite
+    raise ValueError(f"unknown benchmark {benchmark_name!r}")

@@ -1,0 +1,120 @@
+"""Warp-level instruction stream primitives.
+
+A kernel model emits a stream of :class:`WarpInstruction` per warp.  Three
+kinds exist:
+
+* **compute blocks** -- ``count`` back-to-back arithmetic instructions,
+  collapsed into one object for simulation speed.  Issuing a block
+  occupies the SM's issue port for ``count`` cycles and credits ``count``
+  instructions, so IPC accounting is identical to issuing them one by one
+  while the simulator does O(1) work.
+* **loads / stores** -- one static memory instruction with its coalesced
+  block-address transactions attached (the coalescer runs at trace
+  generation time; the hardware algorithm lives in
+  :mod:`repro.gpu.coalescer` and is applied to the per-thread addresses).
+
+``TraceScale`` carries the scale-down knobs: the paper simulates >1e9
+instructions per workload, which a pure-Python model cannot; all reported
+quantities are ratios that survive scaling (DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.gpu.coalescer import coalesce
+
+#: instruction kinds
+COMPUTE = 0
+LOAD = 1
+STORE = 2
+
+_KIND_NAMES = {COMPUTE: "compute", LOAD: "load", STORE: "store"}
+
+
+@dataclass(slots=True, frozen=True)
+class WarpInstruction:
+    """One warp-level instruction (or collapsed compute block)."""
+
+    kind: int
+    pc: int = 0
+    count: int = 1
+    transactions: Tuple[int, ...] = ()
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind != COMPUTE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == COMPUTE:
+            return f"WarpInstruction(compute x{self.count})"
+        return (
+            f"WarpInstruction({_KIND_NAMES[self.kind]} pc=0x{self.pc:x} "
+            f"{len(self.transactions)} txns)"
+        )
+
+
+def compute_block(count: int) -> WarpInstruction:
+    """A run of *count* arithmetic instructions.
+
+    Raises:
+        ValueError: for non-positive counts.
+    """
+    if count < 1:
+        raise ValueError("compute blocks need count >= 1")
+    return WarpInstruction(kind=COMPUTE, count=count)
+
+
+def load_instruction(pc: int, addresses: Iterable[int]) -> WarpInstruction:
+    """A warp load; *addresses* are the per-thread byte addresses."""
+    return WarpInstruction(
+        kind=LOAD, pc=pc, transactions=tuple(coalesce(addresses))
+    )
+
+
+def store_instruction(pc: int, addresses: Iterable[int]) -> WarpInstruction:
+    """A warp store; *addresses* are the per-thread byte addresses."""
+    return WarpInstruction(
+        kind=STORE, pc=pc, transactions=tuple(coalesce(addresses))
+    )
+
+
+@dataclass(frozen=True)
+class TraceScale:
+    """Scale-down knobs for a simulation run.
+
+    Attributes:
+        warps_per_sm: active warps per SM (<= the machine's limit).
+        target_instructions: approximate warp instructions per warp; kernel
+            models size their loops from it.
+        working_set_scale: multiplies the kernels' array dimensions;
+            1.0 keeps the paper's "working set >> L1D" regime.
+        apki_scale: access-density factor applied to Table II's APKI when
+            sizing compute pads.  Table II counts thread-level accesses
+            while this simulator issues warp-level instructions; without
+            the factor, warp-level compute pads are ~an order of magnitude
+            too generous and hide all memory latency, contradicting the
+            paper's own Figure 1a (75% of execution time on off-chip
+            access).  Table II comparisons divide the factor back out.
+    """
+
+    warps_per_sm: int = 48
+    target_instructions: int = 600
+    working_set_scale: float = 1.0
+    apki_scale: float = 6.0
+
+    @classmethod
+    def smoke(cls) -> "TraceScale":
+        """Tiny scale for unit tests (seconds across all configs)."""
+        return cls(warps_per_sm=8, target_instructions=200)
+
+    @classmethod
+    def test(cls) -> "TraceScale":
+        """Small scale for integration tests."""
+        return cls(warps_per_sm=16, target_instructions=600)
+
+    @classmethod
+    def bench(cls) -> "TraceScale":
+        """Benchmark scale used by the figure-reproduction harness."""
+        return cls(warps_per_sm=24, target_instructions=2000)

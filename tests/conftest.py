@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.request import AccessType, MemoryRequest
+
+
+def load(address: int, pc: int = 0x100, warp_id: int = 0, sm_id: int = 0):
+    """Shorthand for a LOAD request."""
+    return MemoryRequest(
+        address=address, access_type=AccessType.LOAD, pc=pc,
+        warp_id=warp_id, sm_id=sm_id,
+    )
+
+
+def store(address: int, pc: int = 0x200, warp_id: int = 0, sm_id: int = 0):
+    """Shorthand for a STORE request."""
+    return MemoryRequest(
+        address=address, access_type=AccessType.STORE, pc=pc,
+        warp_id=warp_id, sm_id=sm_id,
+    )
+
+
+@pytest.fixture
+def small_gpu_config():
+    """A 2-SM machine for fast integration tests."""
+    from repro.gpu.config import fermi_like
+
+    return fermi_like().with_overrides(num_sms=2)

@@ -1,0 +1,129 @@
+"""Unit and property tests for the counting Bloom filter and NVM-CBF."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import CountingBloomFilter, NVMCBFTimingModel
+
+
+class TestBasics:
+    def test_inserted_key_tests_positive(self):
+        cbf = CountingBloomFilter()
+        cbf.insert(0x1234)
+        assert cbf.test(0x1234)
+
+    def test_empty_filter_tests_negative(self):
+        cbf = CountingBloomFilter()
+        assert not cbf.test(0x1234)
+
+    def test_remove_clears_lone_key(self):
+        cbf = CountingBloomFilter(num_counters=64)
+        cbf.insert(0x1234)
+        cbf.remove(0x1234)
+        assert not cbf.test(0x1234)
+
+    def test_counter_saturation_sticks(self):
+        cbf = CountingBloomFilter(num_counters=4, num_hashes=1,
+                                  counter_bits=2)
+        for _ in range(10):
+            cbf.insert(0x1)
+        assert max(cbf.counters()) == 3
+        # a saturated counter is never decremented
+        for _ in range(10):
+            cbf.remove(0x1)
+        assert cbf.test(0x1)
+
+    def test_reset(self):
+        cbf = CountingBloomFilter()
+        cbf.insert(1)
+        cbf.reset()
+        assert not cbf.test(1)
+        assert cbf.counters() == [0] * cbf.num_counters
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(num_counters=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(num_hashes=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(counter_bits=0)
+
+    def test_independent_seeds_differ(self):
+        a = CountingBloomFilter(seed=0)
+        b = CountingBloomFilter(seed=1)
+        assert a._indices(0xABCD) != b._indices(0xABCD)
+
+
+class TestFalsePositiveBehaviour:
+    def test_more_hashes_reduce_false_positives(self):
+        """Figure 20a's trend: more hash functions, fewer false positives."""
+        members = list(range(0, 6))
+        probes = list(range(1000, 1400))
+        rates = []
+        for hashes in (1, 3):
+            cbf = CountingBloomFilter(num_counters=32, num_hashes=hashes)
+            for key in members:
+                cbf.insert(key)
+            fp = sum(1 for p in probes if cbf.test(p))
+            rates.append(fp / len(probes))
+        assert rates[1] <= rates[0]
+
+    def test_more_slots_reduce_false_positives(self):
+        """Figure 20b's trend: longer counter arrays, fewer false
+        positives."""
+        members = list(range(0, 12))
+        probes = list(range(1000, 1400))
+        rates = []
+        for slots in (16, 128):
+            cbf = CountingBloomFilter(num_counters=slots, num_hashes=3)
+            for key in members:
+                cbf.insert(key)
+            fp = sum(1 for p in probes if cbf.test(p))
+            rates.append(fp / len(probes))
+        assert rates[1] <= rates[0]
+
+
+class TestTimingModel:
+    def test_test_hides_within_one_cycle(self):
+        timing = NVMCBFTimingModel()
+        assert timing.test_ps == pytest.approx(591.0)
+        assert timing.test_cycles == 0
+
+    def test_slow_variant_costs_a_cycle(self):
+        timing = NVMCBFTimingModel(test_ps=1500.0)
+        assert timing.test_cycles == 1
+
+    def test_area_matches_table(self):
+        assert NVMCBFTimingModel().area_bytes == 512
+
+
+@settings(max_examples=60)
+@given(
+    members=st.sets(st.integers(min_value=0, max_value=10_000), max_size=30),
+    removed=st.sets(st.integers(min_value=0, max_value=10_000), max_size=30),
+)
+def test_no_false_negatives(members, removed):
+    """THE Bloom-filter invariant: a currently-stored key always tests
+    positive, whatever insert/remove history preceded it."""
+    cbf = CountingBloomFilter(num_counters=16, num_hashes=3)
+    for key in members:
+        cbf.insert(key)
+    for key in removed & members:
+        cbf.remove(key)
+    for key in members - removed:
+        assert cbf.test(key)
+
+
+@settings(max_examples=40)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=1_000_000), min_size=1,
+                  max_size=50),
+)
+def test_counters_stay_in_range(keys):
+    cbf = CountingBloomFilter(num_counters=8, num_hashes=2, counter_bits=2)
+    for key in keys:
+        cbf.insert(key)
+    assert all(0 <= c <= 3 for c in cbf.counters())
+    for key in keys:
+        cbf.remove(key)
+    assert all(0 <= c <= 3 for c in cbf.counters())

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_shows_configs_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Dy-FUSE" in out
+        assert "ATAX" in out
+        assert "PolyBench" in out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "L1-SRAM", "2DCONV", "--sms", "2",
+                     "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "L1D miss rate" in out
+
+    def test_unknown_config_fails_cleanly(self, capsys):
+        code = main(["run", "L1-MAGIC", "2DCONV", "--sms", "2",
+                     "--scale", "smoke"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        code = main(["run", "L1-SRAM", "LINPACK", "--sms", "2",
+                     "--scale", "smoke"])
+        assert code == 2
+
+
+class TestCompare:
+    def test_compare_two_configs(self, capsys):
+        code = main([
+            "compare", "2DCONV", "--configs", "L1-SRAM,Dy-FUSE",
+            "--sms", "2", "--scale", "smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L1-SRAM" in out and "Dy-FUSE" in out
+        assert "vs L1-SRAM" in out

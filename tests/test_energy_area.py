@@ -1,0 +1,134 @@
+"""Tests for the energy model and Table III area estimation."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.energy.area import dy_fuse_area, l1_sram_area
+from repro.energy.model import (
+    EnergyConstants,
+    compute_energy,
+    l1d_energy_params,
+)
+from repro.gpu.stats import MemorySystemStats, SimulationResult
+
+
+def make_result(config="L1-SRAM", **l1_overrides):
+    l1 = CacheStats()
+    l1.sram_reads = 1000
+    l1.sram_writes = 500
+    for key, value in l1_overrides.items():
+        setattr(l1, key, value)
+    mem = MemorySystemStats()
+    mem.l2_hits = 100
+    mem.l2_misses = 50
+    mem.dram_reads = 50
+    mem.request_flits = 200
+    mem.response_flits = 900
+    return SimulationResult(
+        config_name=config, workload_name="x", cycles=10_000,
+        instructions=50_000, l1d=l1, memory=mem, num_sms=15,
+    )
+
+
+class TestEnergyParams:
+    def test_table1_values(self):
+        params = l1d_energy_params("L1-SRAM")
+        assert params.sram_read_nj == pytest.approx(0.15)
+        assert params.sram_leak_mw == pytest.approx(58.0)
+        params = l1d_energy_params("By-NVM")
+        assert params.stt_write_nj == pytest.approx(2.9)
+        params = l1d_energy_params("Dy-FUSE")
+        assert params.stt_leak_mw == pytest.approx(2.4)
+        assert params.sram_read_nj == pytest.approx(0.09)
+
+    def test_ratio_variant_falls_back_to_family(self):
+        params = l1d_energy_params("Dy-FUSE-1/4")
+        assert params.stt_leak_mw == pytest.approx(2.4)
+
+    def test_unknown_gets_defaults(self):
+        params = l1d_energy_params("custom-thing")
+        assert params.sram_read_nj == pytest.approx(0.09)
+
+
+class TestEnergyModel:
+    def test_components_positive(self):
+        report = compute_energy(make_result())
+        assert report.sram_dynamic_nj > 0
+        assert report.l1d_leak_nj > 0
+        assert report.l2_nj > 0
+        assert report.dram_nj > 0
+        assert report.network_nj > 0
+        assert report.compute_nj > 0
+        assert report.total_nj == pytest.approx(
+            report.l1d_nj + report.offchip_nj + report.compute_nj
+        )
+
+    def test_stt_writes_cost_more_than_reads(self):
+        write_heavy = compute_energy(
+            make_result("By-NVM", sram_reads=0, sram_writes=0,
+                        stt_writes=1000)
+        )
+        read_heavy = compute_energy(
+            make_result("By-NVM", sram_reads=0, sram_writes=0,
+                        stt_reads=1000)
+        )
+        assert write_heavy.stt_dynamic_nj > read_heavy.stt_dynamic_nj
+
+    def test_fractions_sum_to_one(self):
+        report = compute_energy(make_result())
+        assert sum(report.component_fractions().values()) == pytest.approx(1.0)
+
+    def test_longer_runs_leak_more(self):
+        short = make_result()
+        long = make_result()
+        long.cycles = 100_000
+        assert (
+            compute_energy(long).l1d_leak_nj
+            > compute_energy(short).l1d_leak_nj
+        )
+
+    def test_custom_constants(self):
+        expensive_dram = EnergyConstants(dram_access_nj=100.0)
+        report = compute_energy(make_result(), constants=expensive_dram)
+        baseline = compute_energy(make_result())
+        assert report.dram_nj > baseline.dram_nj
+
+
+class TestAreaModel:
+    def test_l1_sram_data_and_tag_arrays_exact(self):
+        report = l1_sram_area()
+        assert report.components["data array"] == 1_572_864
+        assert report.components["tag array"] == 32_256
+        assert report.components["sense amplifier"] == 66_880
+        assert report.components["write driver"] == 58_520
+        assert report.components["comparator"] == 976
+
+    def test_dy_fuse_data_array_matches_budget(self):
+        report = dy_fuse_area()
+        assert report.components["data array"] == 1_572_864
+
+    def test_dy_fuse_fixed_components(self):
+        report = dy_fuse_area()
+        assert report.components["swap buffer"] == 3_072
+        assert report.components["request queue"] == 15_360
+        assert report.components["read-level predictor"] == 2_320
+        assert report.components["NVM-CBF"] == 10_944
+
+    def test_paper_reference_attached(self):
+        report = dy_fuse_area()
+        assert set(report.paper_reference) == set(report.components)
+
+    def test_area_overhead_below_one_percent(self):
+        """Section V-C: Dy-FUSE exceeds the L1D area by less than 0.7%.
+
+        Our analytic reproduction stays within a small single-digit
+        percentage of the L1-SRAM budget."""
+        sram = l1_sram_area()
+        fuse = dy_fuse_area()
+        assert abs(fuse.overhead_vs(sram)) < 0.05
+
+    def test_components_within_reason_of_paper(self):
+        for report in (l1_sram_area(), dy_fuse_area()):
+            for component, computed in report.components.items():
+                paper = report.paper_reference[component]
+                assert computed == pytest.approx(paper, rel=0.35), component

@@ -1,0 +1,118 @@
+"""Hypothesis property tests for the FUSE cache engine.
+
+These drive randomly-generated access sequences through every FUSE
+configuration and assert structural invariants that must survive any
+interleaving of hits, misses, fills, migrations and evictions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.interface import AccessOutcome
+from repro.core.fuse_cache import FuseCache, FuseFeatures
+from tests.conftest import load, store
+
+FEATURE_SETS = {
+    "hybrid": FuseFeatures.hybrid(),
+    "base": FuseFeatures.base_fuse(),
+    "fa": FuseFeatures.fa_fuse(),
+    "dy": FuseFeatures.dy_fuse(),
+}
+
+#: (is_store, block, pc_index) access descriptors
+ACCESS = st.tuples(
+    st.booleans(),
+    st.integers(min_value=0, max_value=95),
+    st.integers(min_value=0, max_value=5),
+)
+
+
+def drive(features: FuseFeatures, accesses) -> FuseCache:
+    """Run an access sequence, filling every miss immediately after."""
+    cache = FuseCache(
+        sram_kb=2, sram_assoc=2, stt_kb=8, stt_assoc=2, features=features,
+        swap_entries=2, tag_queue_capacity=4, mshr_entries=4,
+    )
+    cycle = 0
+    for is_store, block, pc_index in accesses:
+        cycle += 7
+        request = (store if is_store else load)(
+            block << 7, pc=0x40 + pc_index * 8
+        )
+        result = cache.access(request, cycle)
+        if result.outcome is AccessOutcome.MISS:
+            cycle += 50
+            cache.fill(block, cycle)
+    return cache
+
+
+@settings(max_examples=25, deadline=None)
+@given(accesses=st.lists(ACCESS, max_size=120), kind=st.sampled_from(
+    sorted(FEATURE_SETS)))
+def test_single_copy_invariant(accesses, kind):
+    """A block is never valid in both banks simultaneously."""
+    cache = drive(FEATURE_SETS[kind], accesses)
+    sram_blocks = {
+        line.block_addr for line in cache.sram.iter_valid_lines()
+    }
+    stt_blocks = {
+        line.block_addr for line in cache.stt.iter_valid_lines()
+    }
+    assert not (sram_blocks & stt_blocks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(accesses=st.lists(ACCESS, max_size=120), kind=st.sampled_from(
+    sorted(FEATURE_SETS)))
+def test_accounting_identity(accesses, kind):
+    """accesses == hits + primary + merged misses + bypasses, and reads
+    + writes == accesses."""
+    stats = drive(FEATURE_SETS[kind], accesses).stats
+    assert stats.accesses == (
+        stats.hits + stats.misses + stats.merged_misses + stats.bypasses
+    )
+    assert stats.read_accesses + stats.write_accesses == stats.accesses
+    assert stats.hits == stats.read_hits + stats.write_hits
+
+
+@settings(max_examples=25, deadline=None)
+@given(accesses=st.lists(ACCESS, max_size=120), kind=st.sampled_from(
+    sorted(FEATURE_SETS)))
+def test_mirror_stays_consistent(accesses, kind):
+    """In FA modes, the CBF mirror's membership always matches the
+    authoritative STT tag array."""
+    cache = drive(FEATURE_SETS[kind], accesses)
+    if cache.approx is None:
+        return
+    stt_blocks = {
+        line.block_addr for line in cache.stt.iter_valid_lines()
+    }
+    assert stt_blocks == set(cache.approx._block_way)
+    for block in stt_blocks:
+        assert cache.approx.search(block).way is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(accesses=st.lists(ACCESS, min_size=10, max_size=120))
+def test_occupancy_bounded(accesses):
+    """Valid + reserved lines never exceed the physical line count."""
+    cache = drive(FEATURE_SETS["dy"], accesses)
+    for array in (cache.sram, cache.stt):
+        used = sum(
+            1
+            for ways in array._sets
+            for line in ways
+            if line.valid or line.reserved
+        )
+        assert used <= array.num_lines
+
+
+@settings(max_examples=20, deadline=None)
+@given(accesses=st.lists(ACCESS, max_size=100))
+def test_rehit_after_fill(accesses):
+    """Any block the sequence filled and never displaced must still hit
+    (no silent losses through the migration machinery)."""
+    cache = drive(FEATURE_SETS["dy"], accesses)
+    resident = [line.block_addr for line in cache.sram.iter_valid_lines()]
+    for block in resident:
+        result = cache.access(load(block << 7), 10**7)
+        assert result.outcome is AccessOutcome.HIT

@@ -1,0 +1,157 @@
+"""Unit tests for coalescer, warps, schedulers and arbitration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arbitration import Arbiter, Destination
+from repro.core.read_level_predictor import ReadLevel, ReadLevelPredictor
+from repro.gpu.coalescer import coalesce, coalesce_count, warp_addresses
+from repro.gpu.scheduler import GTOScheduler, LRRScheduler, make_scheduler
+from repro.gpu.warp import Warp
+from repro.workloads.trace import compute_block, load_instruction
+from tests.conftest import load, store
+
+
+class TestCoalescer:
+    def test_unit_stride_fully_coalesces(self):
+        addrs = warp_addresses(0, 4)
+        assert coalesce(addrs) == [0]
+
+    def test_block_stride_fully_diverges(self):
+        addrs = warp_addresses(0, 128)
+        assert coalesce(addrs) == list(range(32))
+
+    def test_misaligned_unit_stride_spans_two_blocks(self):
+        addrs = warp_addresses(64, 4)
+        assert coalesce(addrs) == [0, 1]
+
+    def test_duplicates_merge(self):
+        assert coalesce([0, 4, 0, 4]) == [0]
+
+    def test_count_matches_list(self):
+        addrs = warp_addresses(300, 96)
+        assert coalesce_count(addrs) == len(coalesce(addrs))
+
+    @given(
+        base=st.integers(min_value=0, max_value=1 << 30),
+        stride=st.integers(min_value=0, max_value=4096),
+    )
+    @settings(max_examples=60)
+    def test_every_address_covered(self, base, stride):
+        """Property: every lane's address falls inside some emitted block."""
+        addrs = warp_addresses(base, stride)
+        blocks = set(coalesce(addrs))
+        for addr in addrs:
+            assert addr >> 7 in blocks
+        assert 1 <= len(blocks) <= 32
+
+
+class TestWarp:
+    def test_stream_consumption(self):
+        warp = Warp(0, iter([compute_block(3), compute_block(2)]))
+        assert warp.next_instruction().count == 3
+        assert warp.peek().count == 2
+        assert warp.next_instruction().count == 2
+        assert warp.next_instruction() is None
+        assert warp.done
+
+    def test_blocking_on_loads(self):
+        warp = Warp(0, iter([]))
+        warp.block_on(2)
+        assert warp.blocked
+        assert not warp.complete_transaction(50)
+        assert warp.complete_transaction(80)
+        assert warp.ready_at == 80
+        assert not warp.blocked
+
+    def test_completion_without_pending_raises(self):
+        warp = Warp(0, iter([]))
+        with pytest.raises(RuntimeError):
+            warp.complete_transaction(10)
+
+
+class TestSchedulers:
+    def _warps(self, n):
+        return [Warp(i, iter([])) for i in range(n)]
+
+    def test_gto_sticks_to_current(self):
+        warps = self._warps(4)
+        gto = GTOScheduler()
+        first = gto.select(warps, 0)
+        assert first.warp_id == 0
+        # current warp stays selected while ready
+        assert gto.select(warps, 1).warp_id == 0
+        # when it disappears, the oldest ready warp wins
+        assert gto.select(warps[2:], 2).warp_id == 2
+
+    def test_lrr_rotates(self):
+        warps = self._warps(3)
+        lrr = LRRScheduler()
+        order = []
+        for cycle in range(3):
+            warp = lrr.select(warps, cycle)
+            warp.last_issue = cycle
+            order.append(warp.warp_id)
+        assert order == [0, 1, 2]
+
+    def test_factory(self):
+        assert make_scheduler("gto").name == "gto"
+        assert make_scheduler("lrr").name == "lrr"
+        with pytest.raises(ValueError):
+            make_scheduler("fair")
+
+
+class TestArbitration:
+    def _trained_predictor(self):
+        predictor = ReadLevelPredictor(sampled_warps=(0,))
+        predictor.sampler.block_sample_ratio = 1
+        # sequential phases so the tiny sampler is not over-subscribed
+        for round_ in range(100):
+            predictor.observe(store((round_ % 4) << 7, pc=0x50))  # WM
+        for round_ in range(100):
+            predictor.observe(load((8 + round_ % 4) << 7, pc=0x48))  # WORM
+        for round_ in range(100):
+            predictor.observe(load((0x90000 + round_) << 7, pc=0x58))  # WORO
+        return predictor
+
+    def test_no_predictor_defaults(self):
+        arbiter = Arbiter(None)
+        assert arbiter.fill_destination(0x40).destination is Destination.SRAM
+        assert arbiter.eviction_destination(0x40).destination is Destination.STT
+        assert not arbiter.migrate_on_stt_write_hit()
+
+    def test_wm_fills_to_sram(self):
+        arbiter = Arbiter(self._trained_predictor())
+        decision = arbiter.fill_destination(0x50)
+        assert decision.destination is Destination.SRAM
+        assert decision.level is ReadLevel.WM
+
+    def test_worm_fills_to_stt(self):
+        arbiter = Arbiter(self._trained_predictor())
+        assert arbiter.fill_destination(0x48).destination is Destination.STT
+
+    def test_woro_evictions_to_l2(self):
+        arbiter = Arbiter(self._trained_predictor())
+        decision = arbiter.eviction_destination(0x58)
+        assert decision.destination is Destination.L2
+        assert decision.level is ReadLevel.WORO
+
+    def test_worm_evictions_to_stt(self):
+        arbiter = Arbiter(self._trained_predictor())
+        assert arbiter.eviction_destination(0x48).destination is Destination.STT
+
+    def test_predictor_enables_migration(self):
+        arbiter = Arbiter(self._trained_predictor())
+        assert arbiter.migrate_on_stt_write_hit()
+
+
+class TestTraceTypes:
+    def test_compute_block_validation(self):
+        with pytest.raises(ValueError):
+            compute_block(0)
+
+    def test_load_instruction_coalesces(self):
+        instr = load_instruction(0x40, warp_addresses(0, 4))
+        assert instr.transactions == (0,)
+        assert instr.is_memory
+        assert not compute_block(5).is_memory

@@ -1,0 +1,172 @@
+"""End-to-end integration tests: full simulations on a small machine.
+
+These assert the paper's *qualitative* relationships at tiny scale --
+the bench targets reproduce the quantitative figures.
+"""
+
+import pytest
+
+from repro import Runner
+from repro.core.factory import l1d_config
+from repro.gpu.config import fermi_like, volta_like
+from repro.gpu.simulator import GPUSimulator
+from repro.core.factory import make_l1d
+from repro.workloads.benchmarks import benchmark
+from repro.workloads.trace import TraceScale
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(scale="smoke", num_sms=2)
+
+
+CONFIGS = ["L1-SRAM", "By-NVM", "Hybrid", "Base-FUSE", "FA-FUSE", "Dy-FUSE",
+           "Oracle"]
+
+
+class TestBasicSanity:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_all_configs_complete(self, runner, config):
+        result = runner.run(config, "2DCONV")
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert 0.0 <= result.l1d_miss_rate <= 1.0
+        assert result.ipc <= result.num_sms
+
+    @pytest.mark.parametrize(
+        "workload", ["ATAX", "SYR2K", "PVC", "gaussian", "histo", "SM"]
+    )
+    def test_workloads_complete_on_dy_fuse(self, runner, workload):
+        result = runner.run("Dy-FUSE", workload)
+        assert result.instructions > 0
+        assert result.l1d.accesses > 0
+
+    def test_instructions_identical_across_configs(self, runner):
+        """The same trace must retire the same instruction count
+        everywhere -- only timing differs."""
+        counts = {
+            config: runner.run(config, "ATAX").instructions
+            for config in CONFIGS
+        }
+        assert len(set(counts.values())) == 1
+
+
+class TestPaperShapes:
+    def test_oracle_dominates_l1_sram(self, runner):
+        """Figure 3: the ideal cache beats the small SRAM baseline."""
+        for workload in ("ATAX", "2DCONV"):
+            oracle = runner.run("Oracle", workload)
+            base = runner.run("L1-SRAM", workload)
+            assert oracle.l1d_miss_rate <= base.l1d_miss_rate + 1e-9
+            assert oracle.ipc >= base.ipc * 0.95
+
+    def test_fa_fuse_reduces_conflict_misses(self, runner):
+        """Figure 14: the approximated FA bank absorbs the column-walk
+        conflicts that thrash set-mapped caches."""
+        base = runner.run("Base-FUSE", "ATAX")
+        fa = runner.run("FA-FUSE", "ATAX")
+        assert fa.l1d_miss_rate <= base.l1d_miss_rate + 0.02
+
+    def test_by_nvm_bypasses_streams(self):
+        """Table II: workloads with dead streams get nonzero bypass
+        ratios once the dead-write sampler warms up (ATAX's matrix
+        stream is the densest such trace)."""
+        trained = Runner(scale="test", num_sms=2)
+        result = trained.run("By-NVM", "ATAX")
+        assert result.l1d.bypass_ratio > 0.05
+
+    def test_hybrid_pays_blocking_stalls(self, runner):
+        """Figure 15: Hybrid's STT writes stall; Base-FUSE's queue
+        absorbs most of them."""
+        hybrid = runner.run("Hybrid", "PVC")
+        base_fuse = runner.run("Base-FUSE", "PVC")
+        assert hybrid.l1d.stt_write_stall_cycles > 0
+        assert (
+            base_fuse.l1d.stt_write_stall_cycles
+            < hybrid.l1d.stt_write_stall_cycles
+        )
+
+    def test_dy_fuse_avoids_stt_write_storms(self, runner):
+        """Dy-FUSE routes WM blocks to SRAM, slashing STT write stalls
+        versus FA-FUSE on write-heavy workloads."""
+        fa = runner.run("FA-FUSE", "SYR2K")
+        dy = runner.run("Dy-FUSE", "SYR2K")
+        assert dy.l1d.stt_write_stall_cycles <= fa.l1d.stt_write_stall_cycles
+
+    def test_predictor_reports_accuracy(self):
+        """Figure 16: once trained, decided predictions are mostly
+        correct.  SM's dense keyword-reuse stream trains fastest."""
+        trained = Runner(scale="test", num_sms=2)
+        result = trained.run("Dy-FUSE", "SM")
+        stats = result.l1d
+        decided = stats.pred_true + stats.pred_false
+        assert decided > 0
+        assert stats.prediction_accuracy >= 0.5
+
+    def test_energy_attached_and_consistent(self, runner):
+        result = runner.run("L1-SRAM", "ATAX")
+        assert result.energy.total_nj > 0
+        assert 0.0 <= result.energy.offchip_fraction <= 1.0
+
+
+class TestDeterminism:
+    def test_same_run_reproduces_exactly(self):
+        results = []
+        for _ in range(2):
+            runner = Runner(scale="smoke", num_sms=2)
+            result = runner.run("Dy-FUSE", "PVC")
+            results.append((result.cycles, result.instructions,
+                            result.l1d.hits, result.l1d.misses))
+        assert results[0] == results[1]
+
+
+class TestVoltaProfile:
+    def test_volta_config_shape(self):
+        config = volta_like()
+        assert config.num_sms == 84
+        assert config.l1d_area_budget_kb == 128
+        total_l2_kb = (
+            config.l2_num_banks * config.l2_sets * config.l2_assoc * 128
+            // 1024
+        )
+        assert total_l2_kb == 6 * 1024
+
+    def test_small_volta_run(self):
+        config = volta_like().with_overrides(num_sms=2)
+        scale = TraceScale.smoke()
+        model = benchmark("2DCONV", 2, scale.warps_per_sm, scale)
+        sim = GPUSimulator(
+            config,
+            l1d_factory=lambda: make_l1d(l1d_config("Dy-FUSE")),
+            warp_streams=model.streams(),
+            warps_per_sm=scale.warps_per_sm,
+        )
+        result = sim.run("2DCONV", "Dy-FUSE")
+        assert result.instructions > 0
+
+
+class TestSimulatorGuards:
+    def test_max_cycles_guard(self):
+        config = fermi_like().with_overrides(num_sms=1)
+        scale = TraceScale.smoke()
+        model = benchmark("ATAX", 1, scale.warps_per_sm, scale)
+        sim = GPUSimulator(
+            config,
+            l1d_factory=lambda: make_l1d(l1d_config("L1-SRAM")),
+            warp_streams=model.streams(),
+            warps_per_sm=scale.warps_per_sm,
+            max_cycles=10,
+        )
+        with pytest.raises(RuntimeError, match="max_cycles"):
+            sim.run()
+
+    def test_too_many_warps_rejected(self):
+        config = fermi_like().with_overrides(num_sms=1)
+        model = benchmark("2DCONV", 1, 8, TraceScale.smoke())
+        with pytest.raises(ValueError, match="exceed"):
+            GPUSimulator(
+                config,
+                l1d_factory=lambda: make_l1d(l1d_config("L1-SRAM")),
+                warp_streams=model.streams(),
+                warps_per_sm=999,
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for the MSHR table."""
+
+import pytest
+
+from repro.cache.mshr import MSHR
+from tests.conftest import load, store
+
+
+class TestAllocation:
+    def test_allocate_and_probe(self):
+        mshr = MSHR(4, 4)
+        mshr.allocate(0x10, load(0x10 << 7))
+        assert mshr.probe(0x10)
+        assert not mshr.probe(0x20)
+        assert len(mshr) == 1
+
+    def test_full_table_rejects(self):
+        mshr = MSHR(2, 4)
+        mshr.allocate(0x10, load(0))
+        mshr.allocate(0x20, load(0))
+        assert mshr.full()
+        with pytest.raises(RuntimeError, match="full"):
+            mshr.allocate(0x30, load(0))
+
+    def test_double_allocate_rejected(self):
+        mshr = MSHR(4, 4)
+        mshr.allocate(0x10, load(0))
+        with pytest.raises(RuntimeError, match="already tracks"):
+            mshr.allocate(0x10, load(0))
+
+    def test_destination_bits_preserved(self):
+        mshr = MSHR(4, 4)
+        mshr.allocate(0x10, load(0), destination="stt")
+        assert mshr.get(0x10).destination == "stt"
+
+
+class TestMerging:
+    def test_merge_secondary_miss(self):
+        mshr = MSHR(4, 4)
+        mshr.allocate(0x10, load(0, warp_id=0))
+        mshr.merge(0x10, load(0, warp_id=1))
+        entry = mshr.get(0x10)
+        assert entry.merged_count == 1
+        assert len(entry.requests) == 2
+
+    def test_merge_limit_enforced(self):
+        mshr = MSHR(4, max_merged=2)
+        mshr.allocate(0x10, load(0))
+        mshr.merge(0x10, load(0))
+        assert not mshr.can_merge(0x10)
+        with pytest.raises(RuntimeError, match="merge-full"):
+            mshr.merge(0x10, load(0))
+
+    def test_merge_without_entry_rejected(self):
+        mshr = MSHR(4, 4)
+        assert not mshr.can_merge(0x10)
+        with pytest.raises(RuntimeError, match="without entry"):
+            mshr.merge(0x10, load(0))
+
+    def test_merge_mixed_load_store(self):
+        mshr = MSHR(4, 4)
+        mshr.allocate(0x10, load(0))
+        mshr.merge(0x10, store(0))
+        kinds = [r.is_write for r in mshr.get(0x10).requests]
+        assert kinds == [False, True]
+
+
+class TestRelease:
+    def test_release_returns_all_requests(self):
+        mshr = MSHR(4, 4)
+        mshr.allocate(0x10, load(0, warp_id=0))
+        mshr.merge(0x10, load(0, warp_id=3))
+        entry = mshr.release(0x10)
+        assert [r.warp_id for r in entry.requests] == [0, 3]
+        assert not mshr.probe(0x10)
+
+    def test_release_frees_capacity(self):
+        mshr = MSHR(1, 4)
+        mshr.allocate(0x10, load(0))
+        mshr.release(0x10)
+        assert not mshr.full()
+        mshr.allocate(0x20, load(0))
+
+    def test_release_unknown_raises(self):
+        mshr = MSHR(4, 4)
+        with pytest.raises(KeyError):
+            mshr.release(0x77)
+
+    def test_outstanding_blocks_listing(self):
+        mshr = MSHR(4, 4)
+        mshr.allocate(0x10, load(0))
+        mshr.allocate(0x20, load(0))
+        assert sorted(mshr.outstanding_blocks()) == [0x10, 0x20]
+
+
+class TestValidation:
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MSHR(0, 4)
+        with pytest.raises(ValueError):
+            MSHR(4, 0)

@@ -1,0 +1,155 @@
+"""Unit tests for the sampler, read-level predictor and dead-write
+predictor."""
+
+import pytest
+
+from repro.cache.nvm_bypass import DeadWritePredictor
+from repro.core.read_level_predictor import ReadLevel, ReadLevelPredictor
+from repro.core.sampler import (
+    SamplerTable,
+    SaturatingCounterTable,
+    pc_signature,
+)
+from tests.conftest import load, store
+
+
+def sampler(ratio=1):
+    return SamplerTable(sampled_warps=(0,), block_sample_ratio=ratio)
+
+
+class TestSampler:
+    def test_non_sampled_warp_ignored(self):
+        table = sampler()
+        assert table.observe(7, 0x10, 0x100, False) is None
+
+    def test_miss_then_hit(self):
+        table = sampler()
+        first = table.observe(0, 0x10, 0x100, False)
+        assert first is not None and not first.hit
+        second = table.observe(0, 0x10, 0x100, False)
+        assert second.hit
+        assert second.hit_signature == pc_signature(0x100)
+
+    def test_eviction_reports_unused(self):
+        table = SamplerTable(num_sets=1, assoc=2, sampled_warps=(0,),
+                             block_sample_ratio=1)
+        table.observe(0, 0x10, 0x100, False)
+        table.observe(0, 0x20, 0x200, False)
+        observation = table.observe(0, 0x30, 0x300, False)
+        assert observation.evicted_signature == pc_signature(0x100)
+        assert not observation.evicted_used
+
+    def test_eviction_reports_used(self):
+        table = SamplerTable(num_sets=1, assoc=2, sampled_warps=(0,),
+                             block_sample_ratio=1)
+        table.observe(0, 0x10, 0x100, False)
+        table.observe(0, 0x10, 0x100, False)  # re-touch: used
+        table.observe(0, 0x20, 0x200, False)
+        observation = table.observe(0, 0x30, 0x300, False)
+        assert observation.evicted_used
+
+    def test_block_sampling_filters(self):
+        table = sampler(ratio=4)
+        observed = sum(
+            1 for block in range(64)
+            if table.observe(0, block, 0x100, False) is not None
+        )
+        assert 0 < observed < 64
+
+    def test_write_hit_flag(self):
+        table = sampler()
+        table.observe(0, 0x10, 0x100, False)
+        observation = table.observe(0, 0x10, 0x100, True)
+        assert observation.hit_is_write
+
+
+class TestCounterTable:
+    def test_saturation(self):
+        table = SaturatingCounterTable(entries=8, counter_bits=4, init_value=8)
+        for _ in range(30):
+            table.increment(3)
+        assert table.counter(3) == 15
+        for _ in range(30):
+            table.decrement(3)
+        assert table.counter(3) == 0
+
+    def test_status_bit(self):
+        table = SaturatingCounterTable(entries=8)
+        assert not table.is_written(5)
+        table.mark_written(5)
+        assert table.is_written(5)
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(entries=8, counter_bits=2, init_value=9)
+
+
+def train(predictor, requests):
+    for request in requests:
+        predictor.observe(request)
+
+
+class TestReadLevelPredictor:
+    def test_initial_prediction_is_neutral(self):
+        predictor = ReadLevelPredictor()
+        assert predictor.predict(0x4000) is ReadLevel.NEUTRAL
+
+    def test_unused_blocks_become_woro(self):
+        predictor = ReadLevelPredictor(sampled_warps=(0,))
+        predictor.sampler.block_sample_ratio = 1
+        # a stream of never-reused blocks from one PC
+        for i in range(400):
+            predictor.observe(load((0x100000 + i) << 7, pc=0x40))
+        assert predictor.predict(0x40) is ReadLevel.WORO
+
+    def test_reused_read_blocks_become_worm(self):
+        predictor = ReadLevelPredictor(sampled_warps=(0,))
+        predictor.sampler.block_sample_ratio = 1
+        for round_ in range(100):
+            block = (round_ % 4) << 7  # four hot blocks, re-read often
+            predictor.observe(load(block, pc=0x48))
+        assert predictor.predict(0x48) is ReadLevel.WORM
+
+    def test_rewritten_blocks_become_wm(self):
+        predictor = ReadLevelPredictor(sampled_warps=(0,))
+        predictor.sampler.block_sample_ratio = 1
+        for round_ in range(100):
+            block = (round_ % 4) << 7
+            predictor.observe(store(block, pc=0x50))
+        assert predictor.predict(0x50) is ReadLevel.WM
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ReadLevelPredictor(unused_threshold=1, worm_threshold=1)
+        with pytest.raises(ValueError):
+            ReadLevelPredictor(hit_decrement=0)
+
+    def test_scoring_rules(self):
+        score = ReadLevelPredictor.score_eviction
+        assert score(ReadLevel.WM, writes_observed=3) == "true"
+        assert score(ReadLevel.WM, writes_observed=0) == "false"
+        assert score(ReadLevel.WORM, writes_observed=0) == "true"
+        assert score(ReadLevel.WORM, writes_observed=2) == "false"
+        assert score(ReadLevel.WORO, writes_observed=0) == "true"
+        assert score(ReadLevel.NEUTRAL, writes_observed=5) == "neutral"
+        assert score(None, writes_observed=0) == "neutral"
+
+
+class TestDeadWritePredictor:
+    def test_streaming_pc_predicted_dead(self):
+        predictor = DeadWritePredictor(sampled_warps=(0,))
+        predictor.sampler.block_sample_ratio = 1
+        for i in range(400):
+            predictor.observe(store((0x200000 + i) << 7, pc=0x60))
+        assert predictor.is_dead(0x60)
+
+    def test_reused_pc_predicted_alive(self):
+        predictor = DeadWritePredictor(sampled_warps=(0,))
+        predictor.sampler.block_sample_ratio = 1
+        for round_ in range(200):
+            predictor.observe(load((round_ % 4) << 7, pc=0x68))
+        assert not predictor.is_dead(0x68)
+
+    def test_initially_alive(self):
+        predictor = DeadWritePredictor()
+        assert not predictor.is_dead(0x1234)

@@ -1,0 +1,128 @@
+"""Tests for statistics containers, aggregation and result reporting."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.gpu.stats import (
+    LatencyBreakdown,
+    MemorySystemStats,
+    SimulationResult,
+    merge_cache_stats,
+)
+
+
+class TestCacheStats:
+    def test_addition_sums_all_fields(self):
+        a = CacheStats()
+        a.accesses = 10
+        a.hits = 5
+        a.stt_writes = 3
+        b = CacheStats()
+        b.accesses = 2
+        b.misses = 1
+        total = a + b
+        assert total.accesses == 12
+        assert total.hits == 5
+        assert total.misses == 1
+        assert total.stt_writes == 3
+
+    def test_addition_leaves_operands_unchanged(self):
+        a, b = CacheStats(), CacheStats()
+        a.accesses = 1
+        _ = a + b
+        assert a.accesses == 1 and b.accesses == 0
+
+    def test_miss_rate_includes_merged_and_bypassed(self):
+        stats = CacheStats()
+        stats.accesses = 10
+        stats.misses = 2
+        stats.merged_misses = 1
+        stats.bypasses = 2
+        assert stats.miss_rate == pytest.approx(0.5)
+
+    def test_rates_on_empty_stats(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+        assert stats.bypass_ratio == 0.0
+        assert stats.prediction_accuracy == 0.0
+
+    def test_bypass_ratio(self):
+        stats = CacheStats()
+        stats.accesses = 10
+        stats.misses = 2
+        stats.bypasses = 2
+        assert stats.bypass_ratio == pytest.approx(0.5)
+
+    def test_as_dict_roundtrip(self):
+        stats = CacheStats()
+        stats.sram_reads = 7
+        assert stats.as_dict()["sram_reads"] == 7
+
+    def test_merge_cache_stats(self):
+        parts = []
+        for i in range(3):
+            s = CacheStats()
+            s.accesses = i + 1
+            parts.append(s)
+        assert merge_cache_stats(parts).accesses == 6
+
+
+class TestLatencyBreakdown:
+    def test_addition(self):
+        a = LatencyBreakdown(network=1, l2=2, dram=3)
+        b = LatencyBreakdown(network=10, l2=20, dram=30)
+        total = a + b
+        assert (total.network, total.l2, total.dram) == (11, 22, 33)
+        assert total.total == 66
+
+    def test_memory_stats_rates(self):
+        stats = MemorySystemStats()
+        stats.l2_hits = 3
+        stats.l2_misses = 1
+        stats.dram_row_hits = 1
+        stats.dram_row_misses = 1
+        assert stats.l2_miss_rate == pytest.approx(0.25)
+        assert stats.dram_row_hit_rate == pytest.approx(0.5)
+
+    def test_rates_on_empty(self):
+        stats = MemorySystemStats()
+        assert stats.l2_miss_rate == 0.0
+        assert stats.dram_row_hit_rate == 0.0
+
+
+class TestSimulationResult:
+    def _result(self, cycles=100, instructions=400):
+        l1 = CacheStats()
+        l1.accesses = 40
+        return SimulationResult(
+            config_name="X", workload_name="Y", cycles=cycles,
+            instructions=instructions, l1d=l1,
+            memory=MemorySystemStats(), num_sms=4,
+        )
+
+    def test_ipc(self):
+        result = self._result()
+        assert result.ipc == pytest.approx(4.0)
+        assert result.ipc_per_sm == pytest.approx(1.0)
+
+    def test_apki(self):
+        result = self._result()
+        assert result.apki == pytest.approx(100.0)
+
+    def test_zero_cycles_safe(self):
+        result = self._result(cycles=0, instructions=0)
+        assert result.ipc == 0.0
+        assert result.apki == 0.0
+        assert result.offchip_fraction == 0.0
+
+    def test_offchip_fraction(self):
+        result = self._result()
+        result.memory.latency = LatencyBreakdown(network=10, l2=10, dram=80)
+        result.issue_busy_cycles = 100
+        assert result.offchip_fraction == pytest.approx(0.5)
+
+    def test_as_dict_keys(self):
+        data = self._result().as_dict()
+        for key in ("config", "workload", "ipc", "l1d_miss_rate", "apki"):
+            assert key in data

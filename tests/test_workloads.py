@@ -1,0 +1,160 @@
+"""Tests for the workload models, trace analysis and suites."""
+
+import pytest
+
+from repro.workloads.analysis import classify_block, read_level_analysis
+from repro.workloads.benchmarks import (
+    all_benchmarks,
+    benchmark,
+    benchmark_class,
+    benchmark_names,
+)
+from repro.workloads.patterns import Region, interleave, region, zipf_indices
+from repro.workloads.suites import SUITES, suite_of
+from repro.workloads.trace import (
+    COMPUTE,
+    LOAD,
+    STORE,
+    TraceScale,
+    compute_block,
+    load_instruction,
+)
+
+
+SCALE = TraceScale(warps_per_sm=4, target_instructions=300)
+
+
+class TestRegistry:
+    def test_twenty_one_benchmarks(self):
+        assert len(benchmark_names()) == 21
+
+    def test_all_names_resolve(self):
+        for name in benchmark_names():
+            model = benchmark(name, num_sms=1, warps_per_sm=2, scale=SCALE)
+            assert model.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            benchmark("LINPACK", 1, 1)
+
+    def test_suites_cover_every_benchmark(self):
+        covered = {name for names in SUITES.values() for name in names}
+        assert covered == set(benchmark_names())
+
+    def test_suite_of(self):
+        assert suite_of("ATAX") == "PolyBench"
+        assert suite_of("PVC") == "Mars"
+        with pytest.raises(ValueError):
+            suite_of("nonexistent")
+
+    def test_metadata_present(self):
+        for name in benchmark_names():
+            cls = benchmark_class(name)
+            assert cls.apki_paper > 0
+            assert 0.0 <= cls.bypass_paper <= 1.0
+            assert cls.description
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["ATAX", "PVC", "histo", "cfd"])
+    def test_streams_are_deterministic(self, name):
+        a = benchmark(name, 2, 2, SCALE)
+        b = benchmark(name, 2, 2, SCALE)
+        assert a.materialise(0, 1) == b.materialise(0, 1)
+
+    def test_different_warps_differ(self):
+        model = benchmark("ATAX", 2, 2, SCALE)
+        assert model.materialise(0, 0) != model.materialise(1, 1)
+
+    def test_seed_changes_random_streams(self):
+        a = benchmark("PVC", 1, 1, SCALE, seed=0)
+        b = benchmark("PVC", 1, 1, SCALE, seed=1)
+        assert a.materialise(0, 0) != b.materialise(0, 0)
+
+
+class TestAPKICalibration:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_measured_density_tracks_effective_apki(self, name):
+        """The padded stream's transaction density should land within
+        ~35% of the model's effective APKI target."""
+        model = benchmark(name, 1, 2, SCALE)
+        instructions = 0
+        transactions = 0
+        for instr in model.warp_stream(0, 0):
+            if instr.kind == COMPUTE:
+                instructions += instr.count
+            else:
+                instructions += 1
+                transactions += len(instr.transactions)
+        measured = 1000.0 * transactions / instructions
+        target = model.effective_apki
+        assert measured == pytest.approx(target, rel=0.35)
+
+
+class TestReadLevelAnalysis:
+    def test_classification_rules(self):
+        assert classify_block(loads=5, stores=0) == "WORM"
+        assert classify_block(loads=1, stores=0) == "WORO"
+        assert classify_block(loads=0, stores=1) == "WORO"
+        assert classify_block(loads=0, stores=3) == "WM"
+        assert classify_block(loads=10, stores=2) == "read-intensive"
+
+    def test_fractions_sum_to_one(self):
+        model = benchmark("2DCONV", 1, 2, SCALE)
+        breakdown = read_level_analysis(model)
+        assert sum(breakdown.block_fractions.values()) == pytest.approx(1.0)
+        assert breakdown.total_blocks > 0
+
+    def test_stencil_is_worm_dominated(self):
+        """Figure 6: 2DCONV is overwhelmingly WORM."""
+        model = benchmark("2DCONV", 2, 4, SCALE)
+        breakdown = read_level_analysis(model)
+        assert breakdown.dominant() in ("WORM", "WORO")
+        assert breakdown.block_fractions["WM"] < 0.3
+
+    def test_pvc_has_wm_blocks(self):
+        """Figure 6: PVC carries a visible write-multiple share."""
+        model = benchmark("PVC", 2, 4, SCALE)
+        breakdown = read_level_analysis(model)
+        assert breakdown.block_fractions["WM"] > 0.02
+
+
+class TestPatterns:
+    def test_region_wraps(self):
+        reg = region(0, 1024)
+        assert reg.addr(1025) == reg.base + 1
+        assert reg.blocks == 8
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            region(0, 0)
+
+    def test_regions_disjoint(self):
+        a, b = region(0, 1 << 20), region(1, 1 << 20)
+        assert a.base + a.size <= b.base
+
+    def test_interleave_hits_target(self):
+        import random
+
+        memory = [load_instruction(0x40, [i * 128]) for i in range(200)]
+        stream = list(interleave(iter(memory), 50.0, random.Random(0)))
+        instructions = sum(
+            i.count if i.kind == COMPUTE else 1 for i in stream
+        )
+        transactions = sum(len(i.transactions) for i in stream)
+        assert 1000 * transactions / instructions == pytest.approx(50, rel=0.3)
+
+    def test_interleave_validates_apki(self):
+        import random
+
+        with pytest.raises(ValueError):
+            list(interleave(iter([]), 0.0, random.Random(0)))
+
+    def test_zipf_skew(self):
+        import random
+
+        rng = random.Random(1)
+        hits = zipf_indices(rng, universe=10_000, hot_fraction=0.1,
+                            hot_probability=0.7, lanes=2000)
+        hot = sum(1 for i in hits if i < 1000)
+        assert hot / len(hits) > 0.6
