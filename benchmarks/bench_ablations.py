@@ -14,11 +14,20 @@ PROBE_WORKLOADS = ["ATAX", "SYR2K", "PVC"]
 
 
 def _sweep(runner, overrides_list, label):
-    rows = []
-    for label_value, overrides in overrides_list:
-        cfg = l1d_config("Dy-FUSE").with_overrides(
+    def config_for(label_value, overrides):
+        return l1d_config("Dy-FUSE").with_overrides(
             name=f"Dy-FUSE-{label}={label_value}", **overrides
         )
+
+    # fan the whole ablation matrix out through the engine up front
+    runner.prefetch([
+        (config_for(label_value, overrides), workload)
+        for label_value, overrides in overrides_list
+        for workload in PROBE_WORKLOADS
+    ])
+    rows = []
+    for label_value, overrides in overrides_list:
+        cfg = config_for(label_value, overrides)
         ipcs = []
         stalls = []
         for workload in PROBE_WORKLOADS:

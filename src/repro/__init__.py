@@ -14,6 +14,9 @@ The package builds the paper's full stack from scratch in Python:
   estimation.
 * :mod:`repro.workloads` -- synthetic models of the 21 Table II
   benchmarks.
+* :mod:`repro.engine` -- parallel experiment engine: content-hashed run
+  identities, a multiprocessing sweep executor, and a persistent
+  on-disk result store.
 * :mod:`repro.harness` -- experiment runner reproducing every figure and
   table of the evaluation.
 
@@ -36,6 +39,13 @@ from repro.core.factory import (
 )
 from repro.core.fuse_cache import FuseCache, FuseFeatures
 from repro.core.read_level_predictor import ReadLevel, ReadLevelPredictor
+from repro.engine import (
+    ExperimentEngine,
+    ResultStore,
+    RunKey,
+    RunSpec,
+    default_store_path,
+)
 from repro.gpu.config import GPUConfig, fermi_like, volta_like
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.stats import SimulationResult
@@ -46,6 +56,7 @@ from repro.workloads.trace import TraceScale
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExperimentEngine",
     "FuseCache",
     "FuseFeatures",
     "GPUConfig",
@@ -53,9 +64,13 @@ __all__ = [
     "L1DConfig",
     "ReadLevel",
     "ReadLevelPredictor",
+    "ResultStore",
+    "RunKey",
+    "RunSpec",
     "Runner",
     "SimulationResult",
     "TraceScale",
+    "default_store_path",
     "benchmark",
     "benchmark_names",
     "config_for_budget",

@@ -1,21 +1,33 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Three commands cover the workflows a downstream user reaches for first:
+Four commands cover the workflows a downstream user reaches for first:
 
 * ``list``    -- show the available L1D configurations and workloads.
 * ``run``     -- simulate one (configuration, workload) pair and print
   the headline metrics.
 * ``compare`` -- run several configurations on one workload and print a
   normalized comparison table (a one-workload slice of Figure 13).
+* ``sweep``   -- run a configs x workloads matrix through the parallel
+  experiment engine, backed by the persistent result store: the first
+  invocation fans out across worker processes, repeats complete from
+  disk with zero fresh simulations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.core.factory import known_configs, l1d_config
+from repro.engine import (
+    ExperimentEngine,
+    ResultStore,
+    default_store_path,
+    result_to_dict,
+    stderr_progress,
+)
 from repro.harness.report import format_table
 from repro.harness.runner import Runner
 from repro.workloads.benchmarks import benchmark_class, benchmark_names
@@ -47,6 +59,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated configuration names",
     )
     _add_machine_args(compare)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a configs x workloads matrix through the parallel "
+             "engine + persistent store",
+    )
+    sweep.add_argument(
+        "--configs",
+        default="L1-SRAM,By-NVM,Hybrid,Base-FUSE,FA-FUSE,Dy-FUSE",
+        help="comma-separated configuration names",
+    )
+    sweep.add_argument(
+        "--workloads", default="all",
+        help="comma-separated benchmark names, or 'all' (default)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_WORKERS env or CPU count)",
+    )
+    sweep.add_argument(
+        "--store", default=None,
+        help="result-store path (default: REPRO_STORE env or "
+             "~/.cache/repro/results.jsonl)",
+    )
+    sweep.add_argument(
+        "--no-store", action="store_true",
+        help="disable the persistent store for this sweep",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="emit results as JSON instead of a table",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress the progress ticker",
+    )
+    _add_machine_args(sweep)
     return parser
 
 
@@ -131,6 +182,97 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    if args.workloads.strip().lower() == "all":
+        workloads = benchmark_names()
+    else:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    for config in configs:
+        l1d_config(config)  # fail fast on unknown names
+
+    store = None
+    if not args.no_store:
+        # --store "" disables persistence, mirroring REPRO_STORE=""
+        path = args.store if args.store is not None else default_store_path()
+        if path:
+            store = ResultStore(path)
+    engine = ExperimentEngine(
+        store=store,
+        workers=args.workers,
+        progress=None if args.quiet else stderr_progress,
+    )
+    table, outcomes = engine.run_matrix(
+        configs, workloads,
+        gpu_profile=args.gpu, scale=args.scale, seed=args.seed,
+        num_sms=args.sms,
+    )
+
+    store_hits = sum(1 for o in outcomes if o.source == "store")
+    fresh = sum(1 for o in outcomes if o.source == "fresh")
+    errors = [o for o in outcomes if o.error is not None]
+
+    if args.json:
+        payload = {
+            "runs": [
+                {
+                    "config": o.spec.l1d.name,
+                    "workload": o.spec.workload,
+                    "key": o.key,
+                    "source": o.source,
+                    "error": o.error,
+                    "result": (
+                        result_to_dict(o.result)
+                        if o.result is not None else None
+                    ),
+                }
+                for o in outcomes
+            ],
+            "store_hits": store_hits,
+            "fresh": fresh,
+            "errors": len(errors),
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        rows = []
+        for workload in workloads:
+            per_config = table.get(workload, {})
+            # normalize strictly against configs[0]; if the baseline run
+            # failed, leave the ratio column blank rather than silently
+            # renormalizing against the next surviving config
+            base_result = per_config.get(configs[0])
+            baseline = base_result.ipc or 1.0 if base_result else None
+            for config in configs:
+                result = per_config.get(config)
+                if result is None:
+                    rows.append([workload, config, "FAILED", "", ""])
+                    continue
+                rows.append([
+                    workload, config, result.ipc,
+                    result.ipc / baseline if baseline is not None else "",
+                    result.l1d_miss_rate,
+                ])
+        print(format_table(
+            ["workload", "config", "IPC", f"vs {configs[0]}", "miss rate"],
+            rows,
+            title=f"Sweep: {len(configs)} configs x {len(workloads)} "
+                  f"workloads ({args.gpu}, {args.sms} SMs, "
+                  f"{args.scale} scale)",
+        ))
+        print(
+            f"\n{len(outcomes)} runs: {store_hits} from store, "
+            f"{fresh} fresh, {len(errors)} failed"
+            + (f" (store: {store.path})" if store is not None else "")
+        )
+    for outcome in errors:
+        print(
+            f"error: {outcome.spec.l1d.name} on {outcome.spec.workload}:\n"
+            f"{outcome.error}",
+            file=sys.stderr,
+        )
+    return 1 if errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -141,6 +283,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -1,0 +1,254 @@
+"""The parallel experiment engine.
+
+:class:`ExperimentEngine` executes arbitrary sweep matrices (lists of
+:class:`~repro.engine.spec.RunSpec`) with three layers of reuse:
+
+1. duplicate specs inside one submission are collapsed by content hash;
+2. specs already present in the :class:`~repro.engine.store.ResultStore`
+   are served from disk (``source="store"``);
+3. the remainder runs across a ``multiprocessing`` worker pool with
+   chunked dispatch (``source="fresh"``) and is persisted back to the
+   store as each run completes.
+
+Failures are isolated per run: a worker that raises reports the
+traceback in its :class:`RunOutcome` without killing the sweep.
+Progress (completed/total, store hits vs fresh runs, ETA) streams
+through an optional callback; :func:`stderr_progress` is a ready-made
+terminal reporter.
+
+``workers <= 1`` degrades to an in-process serial loop using the exact
+same execution path (:func:`~repro.engine.spec.execute_spec`), so
+parallel and serial results are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.spec import RunSpec, execute_spec
+from repro.engine.store import ResultStore
+from repro.gpu.stats import SimulationResult
+
+#: environment knob for the default worker-pool width
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one submitted spec."""
+
+    spec: RunSpec
+    key: str
+    result: Optional[SimulationResult] = None
+    error: Optional[str] = None
+    #: ``"store"`` (disk hit), ``"fresh"`` (simulated now) or ``"error"``
+    source: str = "fresh"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ProgressEvent:
+    """One progress tick, emitted after every run settles."""
+
+    completed: int
+    total: int
+    store_hits: int
+    fresh: int
+    errors: int
+    elapsed_s: float
+    eta_s: Optional[float]
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def stderr_progress(event: ProgressEvent) -> None:
+    """Render a one-line live progress ticker on stderr."""
+    import sys
+
+    eta = f" eta {event.eta_s:.0f}s" if event.eta_s is not None else ""
+    end = "\n" if event.completed == event.total else ""
+    sys.stderr.write(
+        f"\r[sweep] {event.completed}/{event.total} "
+        f"(store {event.store_hits}, fresh {event.fresh}, "
+        f"errors {event.errors}){eta}   {end}"
+    )
+    sys.stderr.flush()
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env var, else the CPU count."""
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _run_one(task: Tuple[int, RunSpec]):
+    """Pool worker body: execute one spec, never raise."""
+    index, spec = task
+    try:
+        return index, execute_spec(spec), None
+    except Exception:
+        return index, None, traceback.format_exc()
+
+
+class ExperimentEngine:
+    """Executes sweep matrices against the store + worker pool.
+
+    Args:
+        store: disk-backed L2 cache; ``None`` disables persistence.
+        workers: pool width (default :func:`default_workers`); ``<= 1``
+            runs serially in-process.
+        progress: default progress callback for every sweep.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.store = store
+        self.workers = default_workers() if workers is None else max(1, workers)
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunOutcome]:
+        """Execute a batch of specs; returns outcomes aligned with input.
+
+        Duplicate specs share one execution; store hits never touch the
+        pool; fresh results are persisted as they arrive.
+        """
+        progress = progress or self.progress
+        specs = list(specs)
+        outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+        settled: Dict[str, RunOutcome] = {}
+        started = time.monotonic()
+        counters = {"store": 0, "fresh": 0, "errors": 0}
+
+        def emit(completed: int, total: int) -> None:
+            if progress is None:
+                return
+            elapsed = time.monotonic() - started
+            eta = None
+            if counters["fresh"] and completed < total:
+                # store hits are ~free; only fresh runs predict the pace
+                # of the (all-fresh) remainder
+                per_run = elapsed / counters["fresh"]
+                eta = per_run * (total - completed)
+            progress(ProgressEvent(
+                completed=completed, total=total,
+                store_hits=counters["store"], fresh=counters["fresh"],
+                errors=counters["errors"], elapsed_s=elapsed, eta_s=eta,
+            ))
+
+        # -- layer 1+2: dedupe and satisfy from the store ---------------
+        pending: List[Tuple[str, RunSpec]] = []
+        for index, spec in enumerate(specs):
+            digest = spec.key().digest
+            if digest in settled:
+                outcomes[index] = settled[digest]
+                continue
+            stored = self.store.get(digest) if self.store is not None else None
+            if stored is not None:
+                outcome = RunOutcome(
+                    spec=spec, key=digest, result=stored, source="store"
+                )
+                counters["store"] += 1
+            else:
+                outcome = RunOutcome(spec=spec, key=digest)
+                pending.append((digest, spec))
+            settled[digest] = outcome
+            outcomes[index] = outcome
+
+        total = len(settled)
+        completed = counters["store"]
+        emit(completed, total)
+
+        # -- layer 3: execute the remainder -----------------------------
+        def settle(digest: str, result, error) -> None:
+            nonlocal completed
+            outcome = settled[digest]
+            if error is not None:
+                outcome.error = error
+                outcome.source = "error"
+                counters["errors"] += 1
+            else:
+                outcome.result = result
+                outcome.source = "fresh"
+                counters["fresh"] += 1
+                if self.store is not None:
+                    self.store.put(outcome.spec, result)
+            completed += 1
+            emit(completed, total)
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                for digest, spec in pending:
+                    index, result, error = _run_one((0, spec))
+                    settle(digest, result, error)
+            else:
+                tasks = list(enumerate(spec for _, spec in pending))
+                digests = [digest for digest, _ in pending]
+                workers = min(self.workers, len(pending))
+                chunksize = max(1, len(pending) // (workers * 4))
+                with multiprocessing.Pool(processes=workers) as pool:
+                    for index, result, error in pool.imap_unordered(
+                        _run_one, tasks, chunksize=chunksize
+                    ):
+                        settle(digests[index], result, error)
+
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # ------------------------------------------------------------------
+    def run_matrix(
+        self,
+        configs: Iterable,
+        workloads: Iterable[str],
+        gpu_profile: str = "fermi",
+        scale: str = "bench",
+        seed: int = 0,
+        num_sms: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> Tuple[Dict[str, Dict[str, SimulationResult]], List[RunOutcome]]:
+        """Run a configs x workloads grid.
+
+        *configs* entries may be names or :class:`L1DConfig` instances.
+
+        Returns:
+            ``({workload: {config_name: result}}, outcomes)`` -- failed
+            runs are absent from the nested dict but present (with their
+            traceback) in the outcome list.
+        """
+        configs = list(configs)
+        workloads = list(workloads)
+        specs = [
+            RunSpec.build(
+                config, workload, gpu_profile=gpu_profile, scale=scale,
+                seed=seed, num_sms=num_sms,
+            )
+            for workload in workloads
+            for config in configs
+        ]
+        outcomes = self.run_specs(specs, progress=progress)
+        table: Dict[str, Dict[str, SimulationResult]] = {}
+        for outcome in outcomes:
+            if outcome.result is None:
+                continue
+            table.setdefault(outcome.spec.workload, {})[
+                outcome.spec.l1d.name
+            ] = outcome.result
+        return table, outcomes

@@ -1,0 +1,211 @@
+"""Run identity and execution: ``RunSpec``, ``RunKey``, ``execute_spec``.
+
+A :class:`RunSpec` is the complete, picklable description of one
+simulation: the fully-resolved :class:`~repro.core.factory.L1DConfig`,
+the workload, the GPU profile, the trace scale, the seed and the SM
+count.  :class:`RunKey` derives a *stable content hash* from it, which
+is what every cache layer (the in-process :class:`~repro.harness.runner.
+Runner` memo, the on-disk :class:`~repro.engine.store.ResultStore`) keys
+on -- two logically identical configs built by different code paths map
+to the same key.
+
+:func:`execute_spec` is the single execution path shared by the serial
+runner and the parallel worker pool, which is what makes parallel sweep
+results bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.factory import L1DConfig, l1d_config, make_l1d
+from repro.energy.model import compute_energy, l1d_energy_params
+from repro.engine.serialize import config_to_dict
+from repro.gpu.config import GPUConfig, fermi_like, volta_like
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.stats import SimulationResult
+from repro.workloads.benchmarks import benchmark
+from repro.workloads.trace import TraceScale
+
+#: named machine profiles a spec may reference
+GPU_PROFILES = {
+    "fermi": fermi_like,
+    "volta": volta_like,
+}
+
+#: named trace-scale presets a spec may reference
+SCALE_PRESETS = {
+    "smoke": TraceScale.smoke,
+    "test": TraceScale.test,
+    "bench": TraceScale.bench,
+}
+
+
+def gpu_profile(name: str) -> GPUConfig:
+    """Instantiate a named machine profile.
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    try:
+        return GPU_PROFILES[name]()
+    except KeyError:
+        raise ValueError(f"unknown gpu profile {name!r}")
+
+
+def scale_preset(name: str) -> TraceScale:
+    """Instantiate a named trace-scale preset.
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    try:
+        return SCALE_PRESETS[name]()
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A fully-resolved, picklable description of one simulation run.
+
+    ``trace_salt`` snapshots the global
+    :attr:`~repro.workloads.kernels.KernelModel.TRACE_SALT` at build
+    time: carrying it in the spec (rather than reading the global at
+    execution time) keeps worker processes faithful to the submitting
+    process even under spawn-style pools that re-import the modules.
+    """
+
+    l1d: L1DConfig
+    workload: str
+    gpu_profile: str = "fermi"
+    scale: str = "bench"
+    seed: int = 0
+    num_sms: int = 15
+    trace_salt: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        config: Union[str, L1DConfig],
+        workload: str,
+        gpu_profile: str = "fermi",
+        scale: str = "bench",
+        seed: int = 0,
+        num_sms: Optional[int] = None,
+        trace_salt: Optional[int] = None,
+    ) -> "RunSpec":
+        """Resolve a named or custom L1D config into a spec.
+
+        ``num_sms=None`` takes the GPU profile's own SM count;
+        ``trace_salt=None`` snapshots the current global salt.
+        """
+        from repro.workloads.kernels import KernelModel
+
+        if gpu_profile not in GPU_PROFILES:
+            raise ValueError(f"unknown gpu profile {gpu_profile!r}")
+        cfg = config if isinstance(config, L1DConfig) else l1d_config(config)
+        if num_sms is None:
+            num_sms = GPU_PROFILES[gpu_profile]().num_sms
+        if trace_salt is None:
+            trace_salt = KernelModel.TRACE_SALT
+        return cls(
+            l1d=cfg, workload=workload, gpu_profile=gpu_profile,
+            scale=scale, seed=seed, num_sms=num_sms, trace_salt=trace_salt,
+        )
+
+    def key(self) -> "RunKey":
+        return RunKey.for_spec(self)
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Stable content-hashed identity of one run.
+
+    The digest is a SHA-256 over the canonical JSON encoding of the
+    spec's semantic content.  The cosmetic ``description`` field of the
+    L1D config is excluded, so e.g. two ``ratio_config(1/2)`` instances
+    reconstructed in different sweeps collapse to one key.
+    """
+
+    digest: str
+
+    @classmethod
+    def for_spec(cls, spec: RunSpec) -> "RunKey":
+        payload = spec_to_dict(spec)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return cls(digest=hashlib.sha256(canonical.encode()).hexdigest())
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.digest
+
+
+def spec_to_dict(spec: RunSpec) -> Dict:
+    """Canonical dict form of a spec (hash input; also stored for
+    provenance next to every persisted result).
+
+    The trace salt is part of run identity: it changes every generated
+    trace, so results computed under different salts must never satisfy
+    each other from the store.
+    """
+    l1d = config_to_dict(spec.l1d)
+    l1d.pop("description", None)  # cosmetic, not part of run identity
+    return {
+        "l1d": l1d,
+        "workload": spec.workload,
+        "gpu_profile": spec.gpu_profile,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "num_sms": spec.num_sms,
+        "trace_salt": spec.trace_salt,
+    }
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run one simulation described by *spec* (the only execution path).
+
+    Builds the machine, generates the workload trace, simulates, and
+    attaches the energy report -- exactly what the serial runner did
+    before the engine existed, so results are identical either way.
+    """
+    from repro.workloads.kernels import KernelModel
+
+    machine = gpu_profile(spec.gpu_profile).with_overrides(
+        num_sms=spec.num_sms
+    )
+    scale = scale_preset(spec.scale)
+    # apply the spec's snapshotted salt for the whole run (traces may be
+    # generated lazily while the simulator drains the warp streams): a
+    # worker process that re-imported the modules (spawn pools) must
+    # reproduce the submitting process's traces, not the module default's
+    previous_salt = KernelModel.TRACE_SALT
+    KernelModel.TRACE_SALT = spec.trace_salt
+    try:
+        model = benchmark(
+            spec.workload,
+            num_sms=machine.num_sms,
+            warps_per_sm=scale.warps_per_sm,
+            scale=scale,
+            seed=spec.seed,
+        )
+        simulator = GPUSimulator(
+            machine,
+            l1d_factory=lambda: make_l1d(spec.l1d),
+            warp_streams=model.streams(),
+            warps_per_sm=scale.warps_per_sm,
+        )
+        result = simulator.run(
+            workload_name=spec.workload, config_name=spec.l1d.name
+        )
+    finally:
+        KernelModel.TRACE_SALT = previous_salt
+    result.energy = compute_energy(
+        result,
+        l1d_params=l1d_energy_params(spec.l1d.name),
+        core_clock_ghz=machine.core_clock_ghz,
+        net_hops=machine.net_hops,
+    )
+    return result

@@ -1,0 +1,156 @@
+"""Disk-backed result store: the L2 of the memoisation hierarchy.
+
+Results live in an append-only JSON-lines file (one record per line):
+
+.. code-block:: json
+
+    {"schema": 1, "key": "<sha256>", "spec": {...}, "result": {...}}
+
+* **schema versioning** -- every record carries
+  :data:`~repro.engine.serialize.SCHEMA_VERSION`; records with any other
+  tag are skipped on load (and dropped on :meth:`ResultStore.compact`),
+  so a simulator change that bumps the version transparently invalidates
+  every stale cache entry.
+* **append-only writes** -- a put appends one line and updates the
+  in-memory index; the newest record for a key wins on load, so
+  re-putting a key is harmless.
+* **corruption tolerance** -- unparsable lines (e.g. a truncated final
+  line from a killed process) are skipped, never fatal.
+
+The default location is ``~/.cache/repro/results.jsonl``, overridable
+via the ``REPRO_STORE`` environment variable or an explicit path
+(``repro sweep --store``).  Setting ``REPRO_STORE`` to an empty string
+disables the default store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Optional, Union
+
+from repro.engine.serialize import (
+    SCHEMA_VERSION,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.engine.spec import RunKey, RunSpec, spec_to_dict
+from repro.gpu.stats import SimulationResult
+
+#: default on-disk location (under the user cache directory)
+DEFAULT_STORE_DIR = "~/.cache/repro"
+
+
+def default_store_path() -> Optional[pathlib.Path]:
+    """Resolve the default store path (honouring ``REPRO_STORE``).
+
+    Returns ``None`` when ``REPRO_STORE`` is set to an empty string,
+    which disables persistent caching.
+    """
+    env = os.environ.get("REPRO_STORE")
+    if env is not None:
+        if not env.strip():
+            return None
+        return pathlib.Path(env).expanduser()
+    return pathlib.Path(DEFAULT_STORE_DIR).expanduser() / "results.jsonl"
+
+
+class ResultStore:
+    """Persistent (run key -> SimulationResult) mapping on disk.
+
+    Args:
+        path: JSON-lines file; parent directories are created lazily on
+            first write.
+        schema_version: records carrying any other tag are invisible
+            (tests override this to simulate stale caches).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.path = pathlib.Path(path).expanduser()
+        self.schema_version = schema_version
+        self._index: Dict[str, dict] = {}
+        self._stale_records = 0
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated/corrupt line: skip, don't die
+                if record.get("schema") != self.schema_version:
+                    self._stale_records += 1
+                    continue
+                key = record.get("key")
+                if key:
+                    self._index[key] = record
+
+    # ------------------------------------------------------------------
+    def get(self, key: Union[str, RunKey]) -> Optional[SimulationResult]:
+        """Fetch a stored result, or ``None`` when absent/stale."""
+        self._ensure_loaded()
+        digest = key.digest if isinstance(key, RunKey) else key
+        record = self._index.get(digest)
+        if record is None:
+            return None
+        return result_from_dict(record["result"])
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> RunKey:
+        """Persist one result (append + index update); returns its key."""
+        self._ensure_loaded()
+        key = spec.key()
+        record = {
+            "schema": self.schema_version,
+            "key": key.digest,
+            "spec": spec_to_dict(spec),
+            "result": result_to_dict(result),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._index[key.digest] = record
+        return key
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Union[str, RunKey]) -> bool:
+        self._ensure_loaded()
+        digest = key.digest if isinstance(key, RunKey) else key
+        return digest in self._index
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._index)
+
+    @property
+    def stale_records(self) -> int:
+        """Records skipped on load because their schema tag mismatched."""
+        self._ensure_loaded()
+        return self._stale_records
+
+    def compact(self) -> int:
+        """Rewrite the file keeping only current-schema records (one per
+        key); returns the number of live records."""
+        self._ensure_loaded()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in self._index.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        tmp.replace(self.path)
+        self._stale_records = 0
+        return len(self._index)

@@ -2,8 +2,12 @@
 
 Every figure/table bench in ``benchmarks/`` calls into
 :mod:`repro.harness.experiments`; the shared :class:`~repro.harness.
-runner.Runner` memoises (configuration, workload) simulation results so a
-pytest session that regenerates Figures 13-17 runs each simulation once.
+runner.Runner` memoises (configuration, workload) simulation results by
+stable content hash -- in process (L1) and, when given a
+:class:`~repro.engine.store.ResultStore`, on disk (L2) -- so a pytest
+session that regenerates Figures 13-17 runs each simulation at most
+once, and a repeated session runs none at all.  Matrices fan out across
+worker processes via :meth:`~repro.harness.runner.Runner.prefetch`.
 """
 
 from repro.harness.report import format_table, gmean, normalise

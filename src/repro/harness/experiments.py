@@ -4,6 +4,12 @@ Each function returns plain data structures (dicts of floats keyed by
 workload/config) that the bench targets format with
 :func:`repro.harness.report.format_table` and that EXPERIMENTS.md records.
 The workload and configuration lists mirror the paper's figure axes.
+
+Every simulation-backed experiment submits its full (config x workload)
+matrix through :meth:`Runner.prefetch` up front, so the runs fan out
+across the parallel engine's worker pool (and are served from the
+persistent store on regeneration); the row-building loops below each
+prefetch are then pure cache reads.
 """
 
 from __future__ import annotations
@@ -41,8 +47,10 @@ MAIN_CONFIGS = [
 def fig1_motivation(runner: Runner, workloads: Optional[List[str]] = None):
     """Figure 1: off-chip latency fraction and energy decomposition for
     the baseline L1-SRAM machine."""
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([("L1-SRAM", name) for name in names])
     rows = []
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         result = runner.run("L1-SRAM", name)
         energy = result.energy
         lat = result.memory.latency
@@ -69,8 +77,12 @@ def fig3_oracle(runner: Runner, workloads: Optional[List[str]] = None):
         "STT-MRAM": l1d_config("L1-NVM"),
         "Oracle": l1d_config("Oracle"),
     }
+    names = list(workloads or FIG3_WORKLOADS)
+    runner.prefetch([
+        (cfg, name) for name in names for cfg in configs.values()
+    ])
     rows = []
-    for name in workloads or FIG3_WORKLOADS:
+    for name in names:
         row = {"workload": name}
         baseline_ipc = None
         for label, cfg in configs.items():
@@ -114,6 +126,11 @@ def fig7_approx_vs_full(runner: Runner):
     averaged per suite (normalized IPC; the paper reports <2% gap)."""
     approx_cfg = l1d_config("FA-FUSE")
     exact_cfg = approx_cfg.with_overrides(name="FA-FUSE-exact", exact_fa=True)
+    runner.prefetch([
+        (cfg, name)
+        for names in SUITES.values() for name in names
+        for cfg in (approx_cfg, exact_cfg)
+    ])
     rows = []
     for suite, names in SUITES.items():
         ratios = []
@@ -132,9 +149,14 @@ def fig7_approx_vs_full(runner: Runner):
 # ======================================================================
 def fig13_ipc(runner: Runner, workloads: Optional[List[str]] = None):
     """Figure 13: IPC of all seven configs, normalized to L1-SRAM."""
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([
+        (config, name) for name in names
+        for config in ["L1-SRAM"] + MAIN_CONFIGS
+    ])
     rows = []
     norm_values: Dict[str, List[float]] = {c: [] for c in MAIN_CONFIGS}
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         row = {"workload": name}
         base = runner.run("L1-SRAM", name).ipc
         for config in MAIN_CONFIGS:
@@ -153,9 +175,13 @@ def fig13_ipc(runner: Runner, workloads: Optional[List[str]] = None):
 # ======================================================================
 def fig14_miss_rate(runner: Runner, workloads: Optional[List[str]] = None):
     """Figure 14: L1D miss rate of all seven configs."""
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([
+        (config, name) for name in names for config in MAIN_CONFIGS
+    ])
     rows = []
     sums: Dict[str, List[float]] = {c: [] for c in MAIN_CONFIGS}
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         row = {"workload": name}
         for config in MAIN_CONFIGS:
             miss = runner.run(config, name).l1d_miss_rate
@@ -174,8 +200,10 @@ def fig15_stalls(runner: Runner, workloads: Optional[List[str]] = None):
     """Figure 15: STT-write vs tag-search stalls for Hybrid / Base-FUSE /
     FA-FUSE, normalized to Hybrid's STT-write stalls."""
     configs = ["Hybrid", "Base-FUSE", "FA-FUSE"]
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([(config, name) for name in names for config in configs])
     rows = []
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         base = runner.run("Hybrid", name).l1d.stt_write_stall_cycles or 1
         row = {"workload": name}
         for config in configs:
@@ -189,8 +217,10 @@ def fig15_stalls(runner: Runner, workloads: Optional[List[str]] = None):
 # ======================================================================
 def fig16_predictor(runner: Runner, workloads: Optional[List[str]] = None):
     """Figure 16: Dy-FUSE read-level predictor accuracy per workload."""
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([("Dy-FUSE", name) for name in names])
     rows = []
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         stats = runner.run("Dy-FUSE", name).l1d
         scored = stats.pred_true + stats.pred_false + stats.pred_neutral
         scored = scored or 1
@@ -207,9 +237,11 @@ def fig16_predictor(runner: Runner, workloads: Optional[List[str]] = None):
 def fig17_energy(runner: Runner, workloads: Optional[List[str]] = None):
     """Figure 17: L1D energy normalized to L1-SRAM."""
     configs = ["L1-SRAM", "By-NVM", "Base-FUSE", "FA-FUSE", "Dy-FUSE"]
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([(config, name) for name in names for config in configs])
     rows = []
     norms: Dict[str, List[float]] = {c: [] for c in configs}
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         base = runner.run("L1-SRAM", name).energy.l1d_nj or 1.0
         row = {"workload": name}
         for config in configs:
@@ -232,8 +264,12 @@ def fig18_ratio_sweep(runner: Runner, workloads: Optional[List[str]] = None):
         Fraction(1, 16), Fraction(1, 8), Fraction(1, 4), Fraction(1, 2),
         Fraction(3, 4),
     ]
+    names = list(workloads or FIG18_WORKLOADS)
+    runner.prefetch([
+        (ratio_config(frac), name) for name in names for frac in fractions
+    ])
     rows = []
-    for name in workloads or FIG18_WORKLOADS:
+    for name in names:
         row = {"workload": name}
         base_ipc = None
         for frac in fractions:
@@ -257,8 +293,13 @@ def fig19_volta(runner: Runner, workloads: Optional[List[str]] = None):
     configs = ["L1-SRAM", "By-NVM", "Hybrid", "Base-FUSE", "FA-FUSE",
                "Dy-FUSE"]
     budget = runner.config.l1d_area_budget_kb
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([
+        (config_for_budget(config, budget), name)
+        for name in names for config in configs
+    ])
     rows = []
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         row = {"workload": name}
         base = None
         for config in configs:
@@ -274,8 +315,10 @@ def fig19_volta(runner: Runner, workloads: Optional[List[str]] = None):
 # ======================================================================
 def table2_apki(runner: Runner, workloads: Optional[List[str]] = None):
     """Table II: measured APKI and By-NVM bypass ratio vs the paper."""
+    names = list(workloads or ALL_WORKLOADS)
+    runner.prefetch([("By-NVM", name) for name in names])
     rows = []
-    for name in workloads or ALL_WORKLOADS:
+    for name in names:
         cls = benchmark_class(name)
         result = runner.run("By-NVM", name)
         rows.append({

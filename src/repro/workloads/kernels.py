@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import abc
 import random
+import zlib
 from typing import Iterator, List
 
 from repro.workloads.trace import TraceScale, WarpInstruction
@@ -63,10 +64,22 @@ class KernelModel(abc.ABC):
         """Global warp index (work-partitioning key)."""
         return sm_id * self.warps_per_sm + warp_id
 
+    #: global trace-generation salt.  Folded into every per-warp RNG seed;
+    #: one fixed value for the whole reproduction so traces (and therefore
+    #: stored results) are identical across processes and machines.
+    TRACE_SALT = 0
+
     def rng_for(self, sm_id: int, warp_id: int) -> random.Random:
-        """Deterministic per-warp RNG."""
+        """Deterministic per-warp RNG.
+
+        Seeded from a *process-stable* hash of the benchmark name
+        (``hash(str)`` is salted per interpreter via PYTHONHASHSEED,
+        which would give every process a different trace and poison the
+        content-addressed result store).
+        """
         return random.Random(
-            (hash(self.name) & 0xFFFF) * 1_000_003
+            (zlib.crc32(self.name.encode()) & 0xFFFF) * 1_000_003
+            + self.TRACE_SALT * 7_368_787
             + self.seed * 7919
             + self.global_warp(sm_id, warp_id)
         )

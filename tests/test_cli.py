@@ -45,3 +45,64 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "L1-SRAM" in out and "Dy-FUSE" in out
         assert "vs L1-SRAM" in out
+
+
+class TestSweep:
+    def _argv(self, store_path, extra=()):
+        return [
+            "sweep", "--configs", "L1-SRAM,Dy-FUSE",
+            "--workloads", "2DCONV,ATAX", "--workers", "2",
+            "--store", str(store_path), "--sms", "2", "--scale", "smoke",
+            "--quiet", *extra,
+        ]
+
+    def test_parallel_sweep_then_store_replay(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        assert main(self._argv(store)) == 0
+        out = capsys.readouterr().out
+        assert "4 runs: 0 from store, 4 fresh, 0 failed" in out
+        # second invocation of the same matrix: zero fresh simulations
+        assert main(self._argv(store)) == 0
+        out = capsys.readouterr().out
+        assert "4 runs: 4 from store, 0 fresh, 0 failed" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        assert main(self._argv(tmp_path / "s.jsonl", ["--json"])) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fresh"] == 4 and payload["errors"] == 0
+        runs = {(r["config"], r["workload"]) for r in payload["runs"]}
+        assert ("Dy-FUSE", "ATAX") in runs
+        for run in payload["runs"]:
+            assert run["result"]["cycles"] > 0
+
+    def test_failed_run_reported_not_fatal(self, tmp_path, capsys):
+        code = main([
+            "sweep", "--configs", "L1-SRAM", "--workloads", "2DCONV,NOPE",
+            "--workers", "2", "--no-store", "--sms", "2",
+            "--scale", "smoke", "--quiet",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "unknown benchmark" in captured.err
+
+    def test_unknown_config_fails_cleanly(self, capsys):
+        code = main([
+            "sweep", "--configs", "L1-MAGIC", "--workloads", "2DCONV",
+            "--no-store", "--sms", "2", "--scale", "smoke", "--quiet",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_store_path_disables_persistence(self, capsys):
+        # --store "" mirrors REPRO_STORE="": no store, nothing written
+        code = main([
+            "sweep", "--configs", "L1-SRAM", "--workloads", "2DCONV",
+            "--store", "", "--sms", "2", "--scale", "smoke", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(store:" not in out
+        assert "1 fresh" in out
