@@ -1,4 +1,4 @@
-"""Ablation benches for the design choices DESIGN.md calls out.
+"""Ablation benches for design choices the paper fixes without sweeping.
 
 Not figures from the paper -- these sweep the FUSE structures the paper
 fixed by design (swap-buffer depth, tag-queue depth, predictor

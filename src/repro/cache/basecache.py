@@ -11,21 +11,19 @@ the paper's baselines are built from.  The same engine models
 differing only in geometry and bank timing.  ``By-NVM`` (dead-write bypass)
 derives from it in :mod:`repro.cache.nvm_bypass`.
 
-Timing model
-------------
-The bank is a single served resource: an operation arriving at cycle ``c``
-starts at ``max(c, busy_until)`` and holds the bank for its *occupancy*.
-Reads are pipelined (occupancy 1); STT-MRAM writes occupy the bank for the
-full write latency, which is exactly the write-penalty mechanism the paper
-attributes pure-NVM slowdowns to.  Waiting time is recorded in
-``stats.bank_wait_cycles`` and, for NVM write occupancy, in
-``stats.stt_write_stall_cycles``.
+The engine is a thin composition of the shared primitives in
+:mod:`repro.cache.engine`: one :class:`~repro.cache.engine.BankPort`
+(reads pipelined, STT-MRAM writes occupying the bank for the full write
+latency -- exactly the write-penalty mechanism the paper attributes
+pure-NVM slowdowns to), one :class:`~repro.cache.engine.MissPath` over
+the MSHR, and one :class:`~repro.cache.engine.WritebackSink`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
+from repro.cache.engine import BankPort, MissPath, WritebackSink
 from repro.cache.interface import (
     AccessOutcome,
     AccessResult,
@@ -69,129 +67,73 @@ class BaseCache(L1DCacheModel):
         name: str = "l1d",
     ) -> None:
         super().__init__()
-        if technology not in ("sram", "stt"):
-            raise ValueError("technology must be 'sram' or 'stt'")
         self.name = name
         self.tags = TagArray(num_sets, assoc, replacement)
         self.mshr = MSHR(mshr_entries, mshr_max_merge)
         self.read_latency = read_latency
         self.write_latency = write_latency
-        self.read_occupancy = read_occupancy
-        self.write_occupancy = (
-            write_latency if write_occupancy is None else write_occupancy
-        )
         self.technology = technology
-        self._busy_until = 0
+        self.bank = BankPort(
+            self.stats,
+            technology,
+            read_latency=read_latency,
+            write_latency=write_latency,
+            read_occupancy=read_occupancy,
+            write_occupancy=write_occupancy,
+        )
+        self.miss_path = MissPath(self.mshr, self.stats)
+        self.writeback = WritebackSink(self.stats, scorer=self._score_eviction)
 
     # ------------------------------------------------------------------
-    # bank timing helpers
-    def _start_op(self, cycle: int) -> int:
-        """Cycle at which an op arriving at *cycle* gets the bank."""
-        start = max(cycle, self._busy_until)
-        wait = start - cycle
-        if wait:
-            self.stats.bank_wait_cycles += wait
-            if self.technology == "stt":
-                # waiting behind long NVM writes is the Figure 15 stall
-                self.stats.stt_write_stall_cycles += wait
-        return start
-
-    def _count_bank_read(self) -> None:
-        if self.technology == "sram":
-            self.stats.sram_reads += 1
-        else:
-            self.stats.stt_reads += 1
-
-    def _count_bank_write(self) -> None:
-        if self.technology == "sram":
-            self.stats.sram_writes += 1
-        else:
-            self.stats.stt_writes += 1
-
-    # ------------------------------------------------------------------
-    def _record_eviction(self, evicted: Optional[EvictedLine]) -> Tuple[int, ...]:
-        """Account an eviction; return writeback tuple for dirty lines."""
-        if evicted is None:
-            return ()
-        self.stats.evictions += 1
-        self._score_eviction(evicted)
-        if evicted.dirty:
-            self.stats.dirty_writebacks += 1
-            return (evicted.block_addr,)
-        return ()
-
     def _score_eviction(self, evicted: EvictedLine) -> None:
         """Hook for predictor-accuracy scoring (used by By-NVM / FUSE)."""
 
     # ------------------------------------------------------------------
     def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
-        self.stats.tag_lookups += 1
+        stats = self.stats
+        stats.tag_lookups += 1
         is_write = request.is_write
         block = request.block_addr
         set_idx, way = self.tags.lookup(block)
 
         if way is not None:
-            self.stats.hits += 1
-            if is_write:
-                self.stats.write_hits += 1
-            else:
-                self.stats.read_hits += 1
+            stats.hits += 1
             self.tags.touch(set_idx, way, is_write)
-            start = self._start_op(cycle)
             if is_write:
-                self._count_bank_write()
-                ready = start + self.write_latency
-                self._busy_until = start + self.write_occupancy
+                stats.write_hits += 1
+                ready = self.bank.write(cycle)
             else:
-                self._count_bank_read()
-                ready = start + self.read_latency
-                self._busy_until = start + self.read_occupancy
+                stats.read_hits += 1
+                ready = self.bank.read(cycle)
             return AccessResult(AccessOutcome.HIT, ready, (), block)
 
         # -- miss path ---------------------------------------------------
-        if self.mshr.probe(block):
-            if not self.mshr.can_merge(block):
-                self.stats.reservation_fails += 1
-                return AccessResult(
-                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
-                )
-            self.mshr.merge(block, request)
-            self.stats.merged_misses += 1
-            return AccessResult(AccessOutcome.HIT_PENDING, cycle, (), block)
-
-        if self.mshr.full() or not self.tags.can_reserve(block):
-            self.stats.reservation_fails += 1
-            return AccessResult(AccessOutcome.RESERVATION_FAIL, cycle, (), block)
+        merged = self.miss_path.merge_or_reject(request, block, cycle)
+        if merged is not None:
+            return merged
+        if not self.tags.can_reserve(block):
+            return self.miss_path.reject(block, cycle)
 
         _, _, evicted = self.tags.reserve(block, cycle)
-        writebacks = self._record_eviction(evicted)
-        self.mshr.allocate(block, request, destination=self.technology, cycle=cycle)
-        self.stats.misses += 1
+        writebacks = self.writeback.evict(evicted)
+        self.miss_path.allocate(
+            block, request, destination=self.technology, cycle=cycle
+        )
         return AccessResult(AccessOutcome.MISS, cycle, writebacks, block)
 
     # ------------------------------------------------------------------
     def fill(self, block_addr: int, cycle: int) -> FillResult:
-        entry = self.mshr.release(block_addr)
-        primary_is_write = entry.requests[0].is_write
-        self.tags.fill(
+        entry = self.miss_path.release(block_addr)
+        primary = entry.requests[0]
+        set_idx, way = self.tags.fill(
             block_addr,
             cycle,
-            is_write=primary_is_write,
-            fill_pc=entry.requests[0].pc,
+            is_write=primary.is_write,
+            fill_pc=primary.pc,
         )
         # account residency counters for merged secondaries
-        set_idx, way = self.tags.lookup(block_addr)
-        line = self.tags.line(set_idx, way)
-        for merged in entry.requests[1:]:
-            if merged.is_write:
-                line.dirty = True
-                line.writes_observed += 1
-            else:
-                line.reads_observed += 1
+        MissPath.apply_merged(entry, self.tags.line(set_idx, way))
 
-        start = self._start_op(cycle)
-        self._count_bank_write()
-        ready = start + self.write_latency
-        self._busy_until = start + self.write_occupancy
+        ready = self.bank.write(cycle)
         self.stats.fills += 1
         return FillResult(ready, list(entry.requests), ())

@@ -1,0 +1,112 @@
+"""``BankPort``: one cache bank as a served resource.
+
+An operation arriving at cycle ``c`` starts at ``max(c, busy_until)``
+and holds the bank for its *occupancy*; the data-ready cycle adds the
+operation latency (plus any serialized extra cycles, e.g. the
+approximated tag search in front of an STT-MRAM operation).  Waiting is
+charged to ``stats.bank_wait_cycles`` and, for STT-MRAM banks, also to
+``stats.stt_write_stall_cycles`` -- waiting behind long MTJ writes is
+exactly the Figure 15 stall the paper attributes pure-NVM slowdowns to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.stats import CacheStats
+
+
+class BankPort:
+    """Busy-until timing plus occupancy/stall/energy accounting.
+
+    Args:
+        stats: the owning cache's flat counter object.
+        technology: ``"sram"`` or ``"stt"``; selects the wait-stall rule
+            and which energy event counters read/write operations bump.
+        read_latency / write_latency: cycles from bank start to done.
+        read_occupancy: bank busy time per read (1 = fully pipelined).
+        write_occupancy: bank busy time per write; STT-MRAM writes hold
+            the bank for the whole write (defaults to ``write_latency``).
+        count_events: when False the port only does timing; the caller
+            owns the ``sram_*``/``stt_*`` event counters (the FUSE STT
+            paths count per routing decision, not per bank operation).
+    """
+
+    __slots__ = (
+        "stats",
+        "technology",
+        "read_latency",
+        "write_latency",
+        "read_occupancy",
+        "write_occupancy",
+        "count_events",
+        "busy_until",
+        "_is_stt",
+    )
+
+    def __init__(
+        self,
+        stats: CacheStats,
+        technology: str,
+        read_latency: int = 1,
+        write_latency: int = 1,
+        read_occupancy: int = 1,
+        write_occupancy: Optional[int] = None,
+        count_events: bool = True,
+    ) -> None:
+        if technology not in ("sram", "stt"):
+            raise ValueError("technology must be 'sram' or 'stt'")
+        self.stats = stats
+        self.technology = technology
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.read_occupancy = read_occupancy
+        self.write_occupancy = (
+            write_latency if write_occupancy is None else write_occupancy
+        )
+        self.count_events = count_events
+        self.busy_until = 0
+        self._is_stt = technology == "stt"
+
+    # ------------------------------------------------------------------
+    def start(self, cycle: int) -> int:
+        """Acquire the bank; returns the start cycle, charging any wait."""
+        start = self.busy_until
+        if start <= cycle:
+            return cycle
+        stats = self.stats
+        wait = start - cycle
+        stats.bank_wait_cycles += wait
+        if self._is_stt:
+            stats.stt_write_stall_cycles += wait
+        return start
+
+    def read(self, cycle: int, extra: int = 0) -> int:
+        """One bank read; returns the data-ready cycle.
+
+        ``extra`` cycles (tag-search serialization) delay only the
+        data-ready cycle: the bank's occupancy stays ``read_occupancy``
+        because tag polling overlaps the next operation's access (the
+        same pipelining the tag queue models).  Writes, by contrast,
+        hold the bank through their ``extra`` cycles -- see
+        :meth:`write`.
+        """
+        start = self.start(cycle)
+        if self.count_events:
+            if self._is_stt:
+                self.stats.stt_reads += 1
+            else:
+                self.stats.sram_reads += 1
+        self.busy_until = start + self.read_occupancy
+        return start + extra + self.read_latency
+
+    def write(self, cycle: int, extra: int = 0) -> int:
+        """One bank write; returns the write-complete cycle."""
+        start = self.start(cycle)
+        if self.count_events:
+            if self._is_stt:
+                self.stats.stt_writes += 1
+            else:
+                self.stats.sram_writes += 1
+        self.busy_until = start + extra + self.write_occupancy
+        return start + extra + self.write_latency

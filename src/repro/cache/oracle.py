@@ -3,13 +3,16 @@
 Figure 3 motivates FUSE by comparing the Vanilla GTX480-like L1D against an
 "ideal L1D cache that has enough capacity to avoid cache thrashing".  The
 oracle still pays cold (compulsory) misses and MSHR constraints -- only
-capacity and conflict misses disappear.
+capacity and conflict misses disappear.  Its banks are likewise idealised
+(no ``busy_until`` serialisation), so the only shared machinery it needs
+is the :class:`~repro.cache.engine.MissPath` MSHR discipline.
 """
 
 from __future__ import annotations
 
 from typing import Set
 
+from repro.cache.engine import MissPath
 from repro.cache.interface import (
     AccessOutcome,
     AccessResult,
@@ -42,43 +45,34 @@ class OracleCache(L1DCacheModel):
         self.read_latency = read_latency
         self.write_latency = write_latency
         self.mshr = MSHR(mshr_entries, mshr_max_merge)
+        self.miss_path = MissPath(self.mshr, self.stats)
         self._resident: Set[int] = set()
 
     def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
-        self.stats.tag_lookups += 1
+        stats = self.stats
+        stats.tag_lookups += 1
         block = request.block_addr
         if block in self._resident:
-            self.stats.hits += 1
+            stats.hits += 1
             if request.is_write:
-                self.stats.write_hits += 1
-                self.stats.sram_writes += 1
+                stats.write_hits += 1
+                stats.sram_writes += 1
                 ready = cycle + self.write_latency
             else:
-                self.stats.read_hits += 1
-                self.stats.sram_reads += 1
+                stats.read_hits += 1
+                stats.sram_reads += 1
                 ready = cycle + self.read_latency
             return AccessResult(AccessOutcome.HIT, ready, (), block)
 
-        if self.mshr.probe(block):
-            if not self.mshr.can_merge(block):
-                self.stats.reservation_fails += 1
-                return AccessResult(
-                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
-                )
-            self.mshr.merge(block, request)
-            self.stats.merged_misses += 1
-            return AccessResult(AccessOutcome.HIT_PENDING, cycle, (), block)
+        merged = self.miss_path.merge_or_reject(request, block, cycle)
+        if merged is not None:
+            return merged
 
-        if self.mshr.full():
-            self.stats.reservation_fails += 1
-            return AccessResult(AccessOutcome.RESERVATION_FAIL, cycle, (), block)
-
-        self.mshr.allocate(block, request, cycle=cycle)
-        self.stats.misses += 1
+        self.miss_path.allocate(block, request, cycle=cycle)
         return AccessResult(AccessOutcome.MISS, cycle, (), block)
 
     def fill(self, block_addr: int, cycle: int) -> FillResult:
-        entry = self.mshr.release(block_addr)
+        entry = self.miss_path.release(block_addr)
         self._resident.add(block_addr)
         self.stats.fills += 1
         self.stats.sram_writes += 1

@@ -20,7 +20,14 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Iterable, Sequence
+from heapq import heapify, heappop, heappush
+from typing import Iterable, Optional, Sequence
+
+#: associativity at which stamp-based policies switch from a linear
+#: minimum scan to a lazily-invalidated min-heap for whole-set victim
+#: selection (the 256-way FA-SRAM and 512-way approximated-FA STT banks
+#: are the targets; tiny 2/4-way sets scan faster than they heap)
+_HEAP_ASSOC_THRESHOLD = 16
 
 
 class ReplacementPolicy(abc.ABC):
@@ -46,33 +53,130 @@ class ReplacementPolicy(abc.ABC):
     def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
         """Pick the way to evict among *candidates* (never empty)."""
 
+    def select_victim_all(self, set_idx: int) -> int:
+        """Pick a victim when *every* way is a candidate.
 
-class LRUPolicy(ReplacementPolicy):
-    """Least-recently-used, tracked with a per-line logical timestamp."""
+        Semantically identical to ``select_victim(set_idx,
+        range(assoc))`` -- the steady-state fast path the tag array takes
+        once a set is full and no reservation is pending, which lets
+        stamp-based policies answer from an oldest-stamp heap instead of
+        scanning the whole (possibly 512-way) set.
+        """
+        return self.select_victim(set_idx, range(self.assoc))
 
-    name = "lru"
+    def on_reserve(self, set_idx: int, way: int) -> None:
+        """A way entered the reserved (fill-in-flight) state.
+
+        Reserved ways are never victim candidates; stamp-based policies
+        use this hook to retire the way's heap entry until the completing
+        fill restamps it.  Default: nothing.
+        """
+
+    def select_victim_scan(self, set_idx: int, lines) -> Optional[int]:
+        """Pick a victim among the non-reserved ways of a full set.
+
+        *lines* is the set's :class:`~repro.cache.tag_array.CacheLine`
+        list; ways whose line is reserved (fill in flight) are not
+        eligible.  Returns None when every way is reserved.  Semantically
+        identical to filtering candidates and calling
+        :meth:`select_victim`; stamp-based policies override this to
+        answer from the heap in O(log n).
+        """
+        candidates = [w for w, line in enumerate(lines) if not line.reserved]
+        if not candidates:
+            return None
+        return self.select_victim(set_idx, candidates)
+
+
+class _StampedPolicy(ReplacementPolicy):
+    """Shared machinery for stamp-ordered policies (LRU, FIFO).
+
+    Stamps are unique and monotonically increasing, so "the way with the
+    minimum stamp" is a deterministic victim.  For wide sets a per-set
+    min-heap of ``(stamp, way)`` entries answers
+    :meth:`select_victim_all` in O(log n): entries are pushed on every
+    (re)stamp and invalidated lazily -- an entry is stale exactly when
+    the way has been restamped since it was pushed.
+    """
 
     def __init__(self, num_sets: int, assoc: int) -> None:
         super().__init__(num_sets, assoc)
         self._tick = 0
-        self._last_use = [[-1] * assoc for _ in range(num_sets)]
+        self._stamps = [[-1] * assoc for _ in range(num_sets)]
+        self._use_heap = assoc >= _HEAP_ASSOC_THRESHOLD
+        self._heaps = (
+            [[] for _ in range(num_sets)] if self._use_heap else None
+        )
 
-    def _next_tick(self) -> int:
+    def _stamp(self, set_idx: int, way: int) -> None:
         self._tick += 1
-        return self._tick
-
-    def on_fill(self, set_idx: int, way: int) -> None:
-        self._last_use[set_idx][way] = self._next_tick()
-
-    def on_access(self, set_idx: int, way: int) -> None:
-        self._last_use[set_idx][way] = self._next_tick()
+        self._stamps[set_idx][way] = self._tick
+        if self._use_heap:
+            heap = self._heaps[set_idx]
+            heappush(heap, (self._tick, way))
+            # Stale entries are normally dropped during victim selection,
+            # but hit-dominated phases (LRU restamps on every access and
+            # a high-hit-rate set rarely evicts) would grow the heap
+            # O(accesses).  Rebuilding from the live stamps keeps it
+            # bounded at O(assoc) amortized-O(1) per stamp, and cannot
+            # change any selection: live entries are identical either way.
+            if len(heap) > 2 * self.assoc + 64:
+                self._heaps[set_idx] = [
+                    (stamp, way_)
+                    for way_, stamp in enumerate(self._stamps[set_idx])
+                    if stamp >= 1
+                ]
+                heapify(self._heaps[set_idx])
 
     def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
-        stamps = self._last_use[set_idx]
-        return min(candidates, key=lambda way: stamps[way])
+        return min(candidates, key=self._stamps[set_idx].__getitem__)
+
+    def select_victim_all(self, set_idx: int) -> int:
+        stamps = self._stamps[set_idx]
+        if self._use_heap:
+            heap = self._heaps[set_idx]
+            while heap:
+                stamp, way = heap[0]
+                if stamps[way] == stamp:
+                    return way
+                heappop(heap)
+        return min(range(self.assoc), key=stamps.__getitem__)
+
+    def on_reserve(self, set_idx: int, way: int) -> None:
+        # Retire the way's live heap entry: reserved ways must never win
+        # a victim selection, and the completing fill restamps them.  The
+        # sentinel only has to mismatch every pushed stamp (stamps are
+        # >= 1); the listcomp paths never read a reserved way's stamp.
+        self._stamps[set_idx][way] = -1
+
+    def select_victim_scan(self, set_idx: int, lines) -> Optional[int]:
+        if not self._use_heap:
+            return super().select_victim_scan(set_idx, lines)
+        # reserved ways hold no live entry (see on_reserve), so the first
+        # live entry is the oldest-stamped eligible way
+        heap = self._heaps[set_idx]
+        stamps = self._stamps[set_idx]
+        while heap:
+            stamp, way = heap[0]
+            if stamps[way] == stamp:
+                return way
+            heappop(heap)
+        return None
 
 
-class FIFOPolicy(ReplacementPolicy):
+class LRUPolicy(_StampedPolicy):
+    """Least-recently-used, tracked with a per-line logical timestamp."""
+
+    name = "lru"
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._stamp(set_idx, way)
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        self._stamp(set_idx, way)
+
+
+class FIFOPolicy(_StampedPolicy):
     """First-in-first-out: evict the oldest installed block.
 
     Hits do not refresh a block's age, which is what makes FIFO cheap enough
@@ -81,22 +185,12 @@ class FIFOPolicy(ReplacementPolicy):
 
     name = "fifo"
 
-    def __init__(self, num_sets: int, assoc: int) -> None:
-        super().__init__(num_sets, assoc)
-        self._tick = 0
-        self._fill_time = [[-1] * assoc for _ in range(num_sets)]
-
     def on_fill(self, set_idx: int, way: int) -> None:
-        self._tick += 1
-        self._fill_time[set_idx][way] = self._tick
+        self._stamp(set_idx, way)
 
     def on_access(self, set_idx: int, way: int) -> None:
         # FIFO ignores hits by definition.
         pass
-
-    def select_victim(self, set_idx: int, candidates: Sequence[int]) -> int:
-        stamps = self._fill_time[set_idx]
-        return min(candidates, key=lambda way: stamps[way])
 
 
 class PseudoLRUPolicy(ReplacementPolicy):

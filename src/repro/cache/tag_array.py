@@ -99,6 +99,13 @@ class TagArray:
         #: valid-block index: block_addr -> (set_idx, way); keeps lookups
         #: O(1) even for the 512-way fully-associative STT organisation
         self._index: dict = {}
+        #: pending reservations: block_addr -> (set_idx, way); lets fills
+        #: complete without scanning the set
+        self._reserved_index: dict = {}
+        #: per-set way counts keeping the reserve path off O(assoc) scans
+        #: in the steady state (set full, no reservation pending)
+        self._free_count: List[int] = [assoc] * num_sets
+        self._reserved_count: List[int] = [0] * num_sets
 
     # ------------------------------------------------------------------
     @property
@@ -134,11 +141,7 @@ class TagArray:
 
     def probe_reserved(self, block_addr: int) -> bool:
         """True if a reservation for *block_addr* is pending in its set."""
-        set_idx = self.set_index(block_addr)
-        for line in self._sets[set_idx]:
-            if line.reserved and line.block_addr == block_addr:
-                return True
-        return False
+        return block_addr in self._reserved_index
 
     def touch(self, set_idx: int, way: int, is_write: bool) -> None:
         """Record a hit for replacement state and residency counters."""
@@ -153,8 +156,7 @@ class TagArray:
     # ------------------------------------------------------------------
     def can_reserve(self, block_addr: int) -> bool:
         """True when the set has at least one non-reserved way."""
-        set_idx = self.set_index(block_addr)
-        return any(not line.reserved for line in self._sets[set_idx])
+        return self._reserved_count[self.set_index(block_addr)] < self.assoc
 
     def peek_victim(self, block_addr: int) -> Tuple[bool, Optional[CacheLine]]:
         """Preview what :meth:`reserve` would do, without mutating.
@@ -167,14 +169,16 @@ class TagArray:
         check-then-commit cache engines should avoid it.
         """
         set_idx = self.set_index(block_addr)
+        if self._free_count[set_idx] > 0:
+            return True, None
         ways = self._sets[set_idx]
-        for line in ways:
-            if not line.valid and not line.reserved:
-                return True, None
-        candidates = [w for w, line in enumerate(ways) if not line.reserved]
-        if not candidates:
+        if self._reserved_count[set_idx] == 0:
+            # steady state: set full, nothing in flight -> every way is a
+            # candidate and the policy can answer without a set scan
+            return True, ways[self.policy.select_victim_all(set_idx)]
+        victim_way = self.policy.select_victim_scan(set_idx, ways)
+        if victim_way is None:
             return False, None
-        victim_way = self.policy.select_victim(set_idx, candidates)
         return True, ways[victim_way]
 
     def reserve(
@@ -196,17 +200,20 @@ class TagArray:
         ways = self._sets[set_idx]
 
         victim_way: Optional[int] = None
-        for way, line in enumerate(ways):
-            if not line.valid and not line.reserved:
-                victim_way = way
-                break
+        if self._free_count[set_idx] > 0:
+            for way, line in enumerate(ways):
+                if not line.valid and not line.reserved:
+                    victim_way = way
+                    break
         if victim_way is None:
-            candidates = [w for w, line in enumerate(ways) if not line.reserved]
-            if not candidates:
-                raise RuntimeError(
-                    f"reserve() with all ways reserved in set {set_idx}"
-                )
-            victim_way = self.policy.select_victim(set_idx, candidates)
+            if self._reserved_count[set_idx] == 0:
+                victim_way = self.policy.select_victim_all(set_idx)
+            else:
+                victim_way = self.policy.select_victim_scan(set_idx, ways)
+                if victim_way is None:
+                    raise RuntimeError(
+                        f"reserve() with all ways reserved in set {set_idx}"
+                    )
 
         line = ways[victim_way]
         evicted: Optional[EvictedLine] = None
@@ -220,12 +227,39 @@ class TagArray:
                 reads_observed=line.reads_observed,
             )
             self._index.pop(line.block_addr, None)
+        else:
+            self._free_count[set_idx] -= 1
         line.reset()
         line.reserved = True
         line.block_addr = block_addr
         line.tag = block_addr >> 0
         line.fill_cycle = cycle
+        self._reserved_count[set_idx] += 1
+        self._reserved_index[block_addr] = (set_idx, victim_way)
+        self.policy.on_reserve(set_idx, victim_way)
         return set_idx, victim_way, evicted
+
+    def _complete_reservation(
+        self,
+        block_addr: int,
+        set_idx: int,
+        way: int,
+        cycle: int,
+        dirty: bool,
+        fill_pc: int,
+        predicted_level: Optional[object],
+    ) -> None:
+        line = self._sets[set_idx][way]
+        line.reserved = False
+        line.valid = True
+        line.dirty = dirty
+        line.fill_pc = fill_pc
+        line.predicted_level = predicted_level
+        line.fill_cycle = cycle
+        self._reserved_count[set_idx] -= 1
+        del self._reserved_index[block_addr]
+        self.policy.on_fill(set_idx, way)
+        self._index[block_addr] = (set_idx, way)
 
     def fill(
         self,
@@ -243,19 +277,17 @@ class TagArray:
             RuntimeError: when no reservation exists (fills must always have
                 been preceded by a reserve; anything else is an engine bug).
         """
-        set_idx = self.set_index(block_addr)
-        for way, line in enumerate(self._sets[set_idx]):
-            if line.reserved and line.block_addr == block_addr:
-                line.reserved = False
-                line.valid = True
-                line.dirty = is_write
-                line.fill_pc = fill_pc
-                line.predicted_level = predicted_level
-                line.fill_cycle = cycle
-                self.policy.on_fill(set_idx, way)
-                self._index[block_addr] = (set_idx, way)
-                return set_idx, way
-        raise RuntimeError(f"fill() without reservation for 0x{block_addr:x}")
+        entry = self._reserved_index.get(block_addr)
+        if entry is None:
+            raise RuntimeError(
+                f"fill() without reservation for 0x{block_addr:x}"
+            )
+        set_idx, way = entry
+        self._complete_reservation(
+            block_addr, set_idx, way, cycle, is_write, fill_pc,
+            predicted_level,
+        )
+        return set_idx, way
 
     def install(
         self,
@@ -269,14 +301,9 @@ class TagArray:
         where the data is already on chip and no fill response is pending).
         """
         set_idx, way, evicted = self.reserve(block_addr, cycle)
-        line = self._sets[set_idx][way]
-        line.reserved = False
-        line.valid = True
-        line.dirty = dirty
-        line.fill_pc = fill_pc
-        line.predicted_level = predicted_level
-        self.policy.on_fill(set_idx, way)
-        self._index[block_addr] = (set_idx, way)
+        self._complete_reservation(
+            block_addr, set_idx, way, cycle, dirty, fill_pc, predicted_level,
+        )
         return set_idx, way, evicted
 
     def invalidate(self, block_addr: int) -> Optional[EvictedLine]:
@@ -295,6 +322,7 @@ class TagArray:
         )
         line.reset()
         self._index.pop(block_addr, None)
+        self._free_count[set_idx] += 1
         return snapshot
 
     def occupancy(self) -> int:

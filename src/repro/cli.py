@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Four commands cover the workflows a downstream user reaches for first:
+Five commands cover the workflows a downstream user reaches for first:
 
 * ``list``    -- show the available L1D configurations and workloads.
 * ``run``     -- simulate one (configuration, workload) pair and print
@@ -10,14 +10,23 @@ Four commands cover the workflows a downstream user reaches for first:
 * ``sweep``   -- run a configs x workloads matrix through the parallel
   experiment engine, backed by the persistent result store: the first
   invocation fans out across worker processes, repeats complete from
-  disk with zero fresh simulations.
+  disk with zero fresh simulations.  ``--profile`` pipes the sweep
+  through :mod:`cProfile` (serial, store bypassed) so hot-path
+  regressions are diagnosable from the CLI.
+* ``profile`` -- simulate one pair under :mod:`cProfile` and print the
+  top entries plus simulated-cycles/sec (the simulator's own speed, not
+  the model's).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.factory import known_configs, l1d_config
@@ -97,7 +106,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress the progress ticker",
     )
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="run the sweep serially under cProfile and print the top "
+             "cumulative entries (forces --workers 1, bypasses the store "
+             "so every run is really simulated)",
+    )
     _add_machine_args(sweep)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one simulation with cProfile (hot-path diagnosis)",
+    )
+    profile.add_argument("config", help="L1D configuration name (see 'list')")
+    profile.add_argument("workload", help="benchmark name (see 'list')")
+    profile.add_argument(
+        "--sort", default="cumulative", choices=("cumulative", "tottime"),
+        help="stat ordering (default cumulative)",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=25,
+        help="profile entries to print (default 25)",
+    )
+    _add_machine_args(profile)
     return parser
 
 
@@ -182,6 +213,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profiled(callable_, sort: str = "cumulative", limit: int = 25):
+    """Run *callable_* under cProfile.
+
+    Returns ``(result, stats_text, elapsed_seconds)`` where *elapsed*
+    covers only the callable itself (not the pstats aggregation), so
+    throughput numbers derived from it describe the simulation alone.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    start = time.perf_counter()
+    try:
+        result = callable_()
+    finally:
+        elapsed = time.perf_counter() - start
+        profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(limit)
+    return result, buffer.getvalue(), elapsed
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.engine.spec import RunSpec, execute_spec
+
+    spec = RunSpec.build(
+        args.config, args.workload, gpu_profile=args.gpu, scale=args.scale,
+        num_sms=args.sms,
+    )
+    result, stats_text, elapsed = _profiled(
+        lambda: execute_spec(spec), sort=args.sort, limit=args.limit
+    )
+    print(stats_text, end="")
+    cycles_per_sec = result.cycles / elapsed if elapsed else 0.0
+    transactions = result.load_transactions + result.store_transactions
+    print(
+        f"{args.config} on {args.workload} ({args.scale} scale, "
+        f"{args.sms} SMs): {result.cycles:,} simulated cycles in "
+        f"{elapsed:.2f}s wall -> {cycles_per_sec:,.0f} cycles/sec, "
+        f"{transactions / elapsed if elapsed else 0.0:,.0f} "
+        "transactions/sec"
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = [c.strip() for c in args.configs.split(",") if c.strip()]
     if args.workloads.strip().lower() == "all":
@@ -192,21 +266,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         l1d_config(config)  # fail fast on unknown names
 
     store = None
-    if not args.no_store:
+    if not args.no_store and not args.profile:
         # --store "" disables persistence, mirroring REPRO_STORE=""
         path = args.store if args.store is not None else default_store_path()
         if path:
             store = ResultStore(path)
     engine = ExperimentEngine(
         store=store,
-        workers=args.workers,
+        # profiling needs the work in-process (and really executed, hence
+        # no store above) for cProfile to see it
+        workers=1 if args.profile else args.workers,
         progress=None if args.quiet else stderr_progress,
     )
-    table, outcomes = engine.run_matrix(
+    run = lambda: engine.run_matrix(  # noqa: E731 - tiny dispatch shim
         configs, workloads,
         gpu_profile=args.gpu, scale=args.scale, seed=args.seed,
         num_sms=args.sms,
     )
+    if args.profile:
+        # stderr, like the progress ticker: --json consumers own stdout
+        (table, outcomes), profile_text, _ = _profiled(run)
+        print(profile_text, end="", file=sys.stderr)
+    else:
+        table, outcomes = run()
 
     store_hits = sum(1 for o in outcomes if o.source == "store")
     fresh = sum(1 for o in outcomes if o.source == "fresh")
@@ -285,6 +367,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

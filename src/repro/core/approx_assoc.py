@@ -109,6 +109,14 @@ class ApproximateAssociativeArray:
         self._row_index = np.arange(num_cbfs, dtype=np.int64)[:, None]
         #: (h1 mod m, h2 mod m) -> precomputed (F, H) index matrix
         self._idx_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        #: key -> precomputed index matrix; hashes are pure functions of
+        #: the key, so per-block memoization is exact (a search is priced
+        #: per lookup either way -- only the hash arithmetic is skipped).
+        #: Values are the shared _idx_cache matrices (at most
+        #: cbf_counters^2 distinct arrays); the key map itself is capped
+        #: so huge-footprint runs cannot grow it unboundedly.
+        self._key_idx_cache: Dict[int, np.ndarray] = {}
+        self._key_idx_cap = 1 << 16
 
         self._way_block: List[int] = [-1] * num_ways
         self._block_way: Dict[int, int] = {}
@@ -129,6 +137,9 @@ class ApproximateAssociativeArray:
 
     def _index_matrix(self, key: int) -> np.ndarray:
         """(num_cbfs, num_hashes) counter indices for *key* in each group."""
+        cached = self._key_idx_cache.get(key)
+        if cached is not None:
+            return cached
         h1m, h2m = self._key_hashes(key)
         cached = self._idx_cache.get((h1m, h2m))
         if cached is None:
@@ -138,6 +149,8 @@ class ApproximateAssociativeArray:
                 + self._hash_steps[None, :] * h2m
             ) % self.cbf_counters
             self._idx_cache[(h1m, h2m)] = cached
+        if len(self._key_idx_cache) < self._key_idx_cap:
+            self._key_idx_cache[key] = cached
         return cached
 
     def _group_indices(self, key: int, group: int) -> np.ndarray:

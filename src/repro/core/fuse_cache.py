@@ -24,6 +24,15 @@ configuration   non-blocking  approx FA    predictor
   straight to STT-MRAM, WORO SRAM-evictions leave for L2, and a store that
   hits STT-MRAM (a misprediction) migrates its line back to SRAM.
 
+The engine composes the shared primitives of :mod:`repro.cache.engine`:
+the SRAM bank is a pipelined :class:`~repro.cache.engine.BankPort`, the
+blocking-mode STT-MRAM bank a second (write-occupying) port, the MSHR
+discipline a :class:`~repro.cache.engine.MissPath`, and lines leaving
+the L1D flow through a :class:`~repro.cache.engine.WritebackSink` that
+also scores the read-level predictor (Figure 16).  What remains below
+is purely FUSE: probe order, swap buffer + tag queue, the CBF-guided
+search, migrations, and the destination arbitration.
+
 Consistency invariant: a block lives in **at most one** of {SRAM bank,
 swap buffer + STT tags, STT bank} at any time -- the paper's "only single
 data copy exists in either SRAM or STT-MRAM".  While a line is parked in
@@ -35,8 +44,9 @@ integration tests assert the single-copy invariant after every operation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
+from repro.cache.engine import BankPort, MissPath, WritebackSink
 from repro.cache.interface import (
     RETRY_INTERVAL,
     AccessOutcome,
@@ -153,10 +163,37 @@ class FuseCache(L1DCacheModel):
             self.approx = None
 
         self.mshr = MSHR(mshr_entries, mshr_max_merge)
+        self.miss_path = MissPath(self.mshr, self.stats)
+        self.l2_sink = WritebackSink(
+            self.stats, leaves_cache=True, scorer=self._score_departure
+        )
         self.sram_read_latency = sram_read_latency
         self.sram_write_latency = sram_write_latency
         self.stt_read_latency = stt_read_latency
         self.stt_write_latency = stt_write_latency
+
+        #: the SRAM bank is fully pipelined: 1-cycle occupancy for both
+        #: reads and writes (Table I timing)
+        self.sram_port = BankPort(
+            self.stats,
+            "sram",
+            read_latency=sram_read_latency,
+            write_latency=sram_write_latency,
+            read_occupancy=1,
+            write_occupancy=1,
+        )
+        #: blocking-mode (Hybrid) STT bank: writes occupy it end to end.
+        #: Event counting stays with the routing paths -- FUSE charges
+        #: ``stt_reads``/``stt_writes`` per decision, not per bank op.
+        self.stt_port = BankPort(
+            self.stats,
+            "stt",
+            read_latency=stt_read_latency,
+            write_latency=stt_write_latency,
+            read_occupancy=1,
+            write_occupancy=stt_write_latency,
+            count_events=False,
+        )
 
         if features.use_predictor:
             self.predictor = predictor or ReadLevelPredictor()
@@ -179,8 +216,6 @@ class FuseCache(L1DCacheModel):
                 write_latency=stt_write_latency,
             )
 
-        self._sram_busy_until = 0
-        self._stt_busy_until = 0      # blocking mode only
         self._cache_busy_until = 0    # blocking mode: whole-cache gate
         #: fill-time predicted levels keyed by block, applied at fill
         self._pending_levels: dict = {}
@@ -197,29 +232,22 @@ class FuseCache(L1DCacheModel):
         set_idx, way = self.stt.lookup(block_addr)
         if self.approx is not None:
             result = self.approx.search(block_addr)
-            self.stats.tag_searches += 1
-            self.stats.tag_search_iterations += result.iterations
-            self.stats.cbf_tests += 1
-            self.stats.cbf_false_positives += result.false_positives
-            extra = max(0, result.cycles - 1)
-            self.stats.tag_search_stall_cycles += extra
+            stats = self.stats
+            stats.tag_searches += 1
+            stats.tag_search_iterations += result.iterations
+            stats.cbf_tests += 1
+            stats.cbf_false_positives += result.false_positives
+            extra = result.cycles - 1
+            if extra > 0:
+                stats.tag_search_stall_cycles += extra
             return way, result.cycles
         return way, 1
 
-    def _sram_op(self, cycle: int, is_write: bool) -> int:
-        """Run one SRAM bank operation; returns the data-ready cycle."""
-        start = max(cycle, self._sram_busy_until)
-        wait = start - cycle
-        if wait:
-            self.stats.bank_wait_cycles += wait
-        if is_write:
-            self.stats.sram_writes += 1
-            ready = start + self.sram_write_latency
-        else:
-            self.stats.sram_reads += 1
-            ready = start + self.sram_read_latency
-        self._sram_busy_until = start + 1  # pipelined
-        return ready
+    def _score_departure(self, evicted: EvictedLine) -> None:
+        """WritebackSink scorer: a line left the L1D for L2."""
+        self._score_line_departure(
+            evicted.predicted_level, evicted.writes_observed
+        )
 
     def _score_line_departure(
         self, predicted_level: Optional[object], writes_observed: int
@@ -237,26 +265,14 @@ class FuseCache(L1DCacheModel):
         else:
             self.stats.pred_neutral += 1
 
-    def _evict_to_l2(self, evicted: EvictedLine) -> Tuple[int, ...]:
-        """Account a line leaving the cache entirely."""
-        self.stats.evictions += 1
-        self.stats.evictions_to_l2 += 1
-        self._score_line_departure(
-            evicted.predicted_level, evicted.writes_observed
-        )
-        if evicted.dirty:
-            self.stats.dirty_writebacks += 1
-            return (evicted.block_addr,)
-        return ()
-
     # ==================================================================
     # structural-hazard pre-checks (check-then-commit)
     def _sram_eviction_hazard(self, block_addr: int, cycle: int) -> Optional[str]:
         """Can the SRAM bank absorb a reservation for *block_addr* now?
 
         Returns None when safe, otherwise a reason string.  Must stay in
-        lockstep with :meth:`_reserve_in_sram` (same victim, same
-        destination decision).
+        lockstep with the commit in :meth:`_handle_sram_eviction` (same
+        victim, same destination decision).
         """
         can, victim = self.sram.peek_victim(block_addr)
         if not can:
@@ -306,7 +322,7 @@ class FuseCache(L1DCacheModel):
         if displaced is not None:
             if self.approx is not None:
                 self.approx.note_evict(displaced.block_addr)
-            writebacks = self._evict_to_l2(displaced)
+            writebacks = self.l2_sink.evict(displaced)
         if self.approx is not None:
             self.approx.note_install(block_addr, way)
         return way, writebacks
@@ -321,7 +337,7 @@ class FuseCache(L1DCacheModel):
         """
         decision = self.arbiter.eviction_destination(evicted.fill_pc)
         if decision.destination is Destination.L2:
-            return self._evict_to_l2(evicted)
+            return self.l2_sink.evict(evicted)
 
         # SRAM -> STT migration.
         self.stats.migrations_sram_to_stt += 1
@@ -338,9 +354,9 @@ class FuseCache(L1DCacheModel):
             )
         else:
             # Hybrid: the STT write blocks the whole cache.
-            start = max(cycle, self._stt_busy_until)
+            start = max(cycle, self.stt_port.busy_until)
             completion = start + self.stt_write_latency
-            self._stt_busy_until = completion
+            self.stt_port.busy_until = completion
             self._cache_busy_until = max(self._cache_busy_until, completion)
             self.stats.stt_write_stall_cycles += completion - cycle
         _, writebacks = self._install_in_stt(
@@ -362,6 +378,7 @@ class FuseCache(L1DCacheModel):
     def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
         is_write = request.is_write
         block = request.block_addr
+        stats = self.stats
 
         # Blocking mode (Hybrid): while an STT-MRAM write is in flight the
         # L1D cannot accept requests at all -- the access is rejected and
@@ -369,40 +386,38 @@ class FuseCache(L1DCacheModel):
         # buffer and tag queue).
         if not self.features.non_blocking and cycle < self._cache_busy_until:
             gate_wait = min(self._cache_busy_until - cycle, RETRY_INTERVAL)
-            self.stats.stt_write_stall_cycles += gate_wait
-            self.stats.bank_wait_cycles += gate_wait
-            self.stats.reservation_fails += 1
-            return AccessResult(
-                AccessOutcome.RESERVATION_FAIL, cycle, (), block
-            )
+            stats.stt_write_stall_cycles += gate_wait
+            stats.bank_wait_cycles += gate_wait
+            return self.miss_path.reject(block, cycle)
 
-        self.stats.tag_lookups += 1
+        stats.tag_lookups += 1
 
         # ---- 1. SRAM bank -------------------------------------------------
         s_set, s_way = self.sram.lookup(block)
         if s_way is not None:
-            self.stats.hits += 1
-            self.stats.sram_hits += 1
-            if is_write:
-                self.stats.write_hits += 1
-            else:
-                self.stats.read_hits += 1
+            stats.hits += 1
+            stats.sram_hits += 1
             self.sram.touch(s_set, s_way, is_write)
-            ready = self._sram_op(cycle, is_write)
+            if is_write:
+                stats.write_hits += 1
+                ready = self.sram_port.write(cycle)
+            else:
+                stats.read_hits += 1
+                ready = self.sram_port.read(cycle)
             return AccessResult(AccessOutcome.HIT, ready, (), block)
 
         # ---- 2. swap buffer ----------------------------------------------
         if self.features.non_blocking and self.swap.touch(block, cycle, is_write):
-            self.stats.hits += 1
-            self.stats.swap_buffer_hits += 1
+            stats.hits += 1
+            stats.swap_buffer_hits += 1
             if is_write:
-                self.stats.write_hits += 1
+                stats.write_hits += 1
                 # keep the (already installed) STT copy's metadata honest
                 set_idx, way = self.stt.lookup(block)
                 if way is not None:
                     self.stt.touch(set_idx, way, True)
             else:
-                self.stats.read_hits += 1
+                stats.read_hits += 1
             return AccessResult(AccessOutcome.HIT, cycle + 1, (), block)
 
         # ---- 3. STT-MRAM bank ---------------------------------------------
@@ -426,32 +441,24 @@ class FuseCache(L1DCacheModel):
         block = request.block_addr
         set_idx = self.stt.set_index(block)
         is_write = request.is_write
+        stats = self.stats
 
         if not is_write:
             # Read hit: ride the tag queue (or the blocking bank).
             if self.features.non_blocking:
                 if self.tag_queue.is_full(cycle):
-                    self.stats.tag_queue_full_events += 1
-                    self.stats.stt_write_stall_cycles += RETRY_INTERVAL
-                    self.stats.reservation_fails += 1
-                    return AccessResult(
-                        AccessOutcome.RESERVATION_FAIL, cycle, (), block
-                    )
+                    stats.tag_queue_full_events += 1
+                    stats.stt_write_stall_cycles += RETRY_INTERVAL
+                    return self.miss_path.reject(block, cycle)
                 ready = self.tag_queue.enqueue(
                     "read", cycle, extra_search_cycles=search_cycles - 1
                 )
             else:
-                start = max(cycle, self._stt_busy_until)
-                wait = start - cycle
-                if wait:
-                    self.stats.stt_write_stall_cycles += wait
-                    self.stats.bank_wait_cycles += wait
-                ready = start + search_cycles - 1 + self.stt_read_latency
-                self._stt_busy_until = start + 1
-            self.stats.hits += 1
-            self.stats.stt_hits += 1
-            self.stats.read_hits += 1
-            self.stats.stt_reads += 1
+                ready = self.stt_port.read(cycle, extra=search_cycles - 1)
+            stats.hits += 1
+            stats.stt_hits += 1
+            stats.read_hits += 1
+            stats.stt_reads += 1
             self.stt.touch(set_idx, way, False)
             return AccessResult(AccessOutcome.HIT, ready, (), block)
 
@@ -463,26 +470,19 @@ class FuseCache(L1DCacheModel):
         # (Section IV-A), then pay the 5-cycle write.
         if self.features.non_blocking:
             drain_done, _ = self.tag_queue.flush(cycle)
-            self.stats.tag_queue_flushes += 1
-            self.stats.stt_write_stall_cycles += drain_done - cycle
-            start = drain_done
-            ready = start + search_cycles - 1 + self.stt_write_latency
+            stats.tag_queue_flushes += 1
+            stats.stt_write_stall_cycles += drain_done - cycle
+            ready = drain_done + search_cycles - 1 + self.stt_write_latency
             self.tag_queue.occupy_until(ready)
         else:
-            start = max(cycle, self._stt_busy_until)
-            wait = start - cycle
-            if wait:
-                self.stats.stt_write_stall_cycles += wait
-                self.stats.bank_wait_cycles += wait
-            ready = start + search_cycles - 1 + self.stt_write_latency
-            self._stt_busy_until = ready
+            ready = self.stt_port.write(cycle, extra=search_cycles - 1)
             self._cache_busy_until = max(self._cache_busy_until, ready)
-        self.stats.hits += 1
-        self.stats.stt_hits += 1
-        self.stats.write_hits += 1
-        self.stats.stt_writes += 1
-        self.stt.touch(self.stt.set_index(request.block_addr), way, True)
-        return AccessResult(AccessOutcome.HIT, ready, (), request.block_addr)
+        stats.hits += 1
+        stats.stt_hits += 1
+        stats.write_hits += 1
+        stats.stt_writes += 1
+        self.stt.touch(set_idx, way, True)
+        return AccessResult(AccessOutcome.HIT, ready, (), block)
 
     # ------------------------------------------------------------------
     def _migrate_stt_to_sram(
@@ -496,10 +496,7 @@ class FuseCache(L1DCacheModel):
         # The SRAM side must be able to take the line first.
         hazard = self._sram_eviction_hazard(block, cycle)
         if hazard is not None:
-            self.stats.reservation_fails += 1
-            return AccessResult(
-                AccessOutcome.RESERVATION_FAIL, cycle, (), block
-            )
+            return self.miss_path.reject(block, cycle)
 
         drain_done, _ = self.tag_queue.flush(cycle)
         self.stats.tag_queue_flushes += 1
@@ -529,7 +526,7 @@ class FuseCache(L1DCacheModel):
         if displaced is not None:
             writebacks = self._handle_sram_eviction(displaced, cycle)
 
-        ready = self._sram_op(read_done, is_write=True)
+        ready = self.sram_port.write(read_done)
         self.stats.hits += 1
         self.stats.stt_hits += 1
         self.stats.write_hits += 1
@@ -541,19 +538,9 @@ class FuseCache(L1DCacheModel):
     ) -> AccessResult:
         block = request.block_addr
 
-        if self.mshr.probe(block):
-            if not self.mshr.can_merge(block):
-                self.stats.reservation_fails += 1
-                return AccessResult(
-                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
-                )
-            self.mshr.merge(block, request)
-            self.stats.merged_misses += 1
-            return AccessResult(AccessOutcome.HIT_PENDING, cycle, (), block)
-
-        if self.mshr.full():
-            self.stats.reservation_fails += 1
-            return AccessResult(AccessOutcome.RESERVATION_FAIL, cycle, (), block)
+        merged = self.miss_path.merge_or_reject(request, block, cycle)
+        if merged is not None:
+            return merged
 
         decision = self.arbiter.fill_destination(request.pc)
         writebacks: Tuple[int, ...] = ()
@@ -561,32 +548,25 @@ class FuseCache(L1DCacheModel):
         if decision.destination is Destination.SRAM:
             hazard = self._sram_eviction_hazard(block, cycle)
             if hazard is not None:
-                self.stats.reservation_fails += 1
-                return AccessResult(
-                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
-                )
+                return self.miss_path.reject(block, cycle)
             _, _, evicted = self.sram.reserve(block, cycle)
             if evicted is not None:
                 writebacks = self._handle_sram_eviction(evicted, cycle)
             destination = "sram"
         else:
             if not self.stt.can_reserve(block):
-                self.stats.reservation_fails += 1
-                return AccessResult(
-                    AccessOutcome.RESERVATION_FAIL, cycle, (), block
-                )
+                return self.miss_path.reject(block, cycle)
             _, way, evicted = self.stt.reserve(block, cycle)
             if evicted is not None:
                 if self.approx is not None:
                     self.approx.note_evict(evicted.block_addr)
-                writebacks = self._evict_to_l2(evicted)
+                writebacks = self.l2_sink.evict(evicted)
             destination = "stt"
 
-        entry = self.mshr.allocate(
+        entry = self.miss_path.allocate(
             block, request, destination=destination, cycle=cycle
         )
         entry.reserved_way = -1
-        self.stats.misses += 1
         # Remember the level that motivated the placement; scored on
         # eviction (Figure 16).
         self._pending_levels[block] = decision.level
@@ -594,7 +574,7 @@ class FuseCache(L1DCacheModel):
 
     # ------------------------------------------------------------------
     def fill(self, block_addr: int, cycle: int) -> FillResult:
-        entry = self.mshr.release(block_addr)
+        entry = self.miss_path.release(block_addr)
         level = self._pending_levels.pop(block_addr, None)
         primary = entry.requests[0]
 
@@ -606,7 +586,7 @@ class FuseCache(L1DCacheModel):
                 fill_pc=primary.pc,
                 predicted_level=level,
             )
-            ready = self._sram_op(cycle, is_write=True)
+            ready = self.sram_port.write(cycle)
             line = self.sram.line(set_idx, way)
         else:
             set_idx, way = self.stt.fill(
@@ -622,18 +602,13 @@ class FuseCache(L1DCacheModel):
             if self.features.non_blocking:
                 ready = self.tag_queue.enqueue("fill", cycle, force=True)
             else:
-                start = max(cycle, self._stt_busy_until)
+                start = max(cycle, self.stt_port.busy_until)
                 ready = start + self.stt_write_latency
-                self._stt_busy_until = ready
+                self.stt_port.busy_until = ready
                 self._cache_busy_until = max(self._cache_busy_until, ready)
             line = self.stt.line(set_idx, way)
 
-        for merged in entry.requests[1:]:
-            if merged.is_write:
-                line.dirty = True
-                line.writes_observed += 1
-            else:
-                line.reads_observed += 1
+        MissPath.apply_merged(entry, line)
 
         self.stats.fills += 1
         return FillResult(ready, list(entry.requests), ())

@@ -55,7 +55,7 @@ class ReadLevelPredictor:
 
     Args:
         table_entries: prediction-history-table entries (Table I: 1024;
-            the paper's prose says 512 -- see DESIGN.md discrepancy list).
+            the paper's prose says 512 -- see ARCHITECTURE.md, "Model notes").
         unused_threshold: counter above which a PC is WORO (Table I: 14).
         worm_threshold: counter below which a PC is WORM/WM (Table I: 1).
         counter_init: initial counter value (paper: 8).

@@ -5,8 +5,8 @@ in order (1 per cycle per SM), memory instructions coalescing into
 128-byte transactions, a private per-SM L1D, and a shared memory system
 (interconnect + L2 + GDDR5 DRAM) reached on misses.  Pipeline micro-
 structure is abstracted; latency and contention are modelled through
-per-resource ``busy_until`` accounting plus an event heap for completions
-(see DESIGN.md section 5.1).
+per-resource ``busy_until`` accounting plus a typed event wheel for
+completions (see ARCHITECTURE.md, "GPU layer").
 """
 
 from repro.gpu.coalescer import coalesce

@@ -29,6 +29,23 @@ class WarpScheduler(abc.ABC):
     def select(self, ready: Sequence[Warp], cycle: int) -> Warp:
         """Pick one warp among *ready* (never empty)."""
 
+    def pick(self, warps: Sequence[Warp], cycle: int) -> Optional[Warp]:
+        """Single-call issue path: choose among the SM's *warps* (ordered
+        by warp id) the one to issue at *cycle*, or None when nothing is
+        ready.  Equivalent to filtering the ready warps and calling
+        :meth:`select`; policies override it to avoid materializing the
+        ready list on the hot path.
+        """
+        ready = [
+            warp
+            for warp in warps
+            if not warp.done and warp.outstanding == 0
+            and warp.ready_at <= cycle
+        ]
+        if not ready:
+            return None
+        return self.select(ready, cycle)
+
 
 class GTOScheduler(WarpScheduler):
     """Greedy-then-oldest."""
@@ -46,6 +63,27 @@ class GTOScheduler(WarpScheduler):
         chosen = min(ready, key=lambda w: w.warp_id)
         self._current = chosen.warp_id
         return chosen
+
+    def pick(self, warps: Sequence[Warp], cycle: int) -> Optional[Warp]:
+        # greedy: stick with the held warp while it stays ready
+        current = self._current
+        if current is not None and current < len(warps):
+            warp = warps[current]
+            if (
+                not warp.done and warp.outstanding == 0
+                and warp.ready_at <= cycle
+            ):
+                return warp
+        # oldest: *warps* is ordered by warp id, so the first ready warp
+        # is exactly min-by-warp_id over the ready set
+        for warp in warps:
+            if (
+                not warp.done and warp.outstanding == 0
+                and warp.ready_at <= cycle
+            ):
+                self._current = warp.warp_id
+                return warp
+        return None
 
 
 class LRRScheduler(WarpScheduler):

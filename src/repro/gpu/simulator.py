@@ -1,12 +1,29 @@
 """Top-level GPU simulator.
 
-A hybrid cycle/event loop (DESIGN.md section 5.1):
+A hybrid cycle/event loop (see ARCHITECTURE.md, "GPU layer"):
 
 * while any SM has a ready warp, the clock advances one cycle at a time
   and each such SM issues at most one instruction;
 * when nothing can issue, the clock jumps to the next completion event
-  (memory responses, retry timers), avoiding dead per-cycle work while
-  warps wait out hundred-cycle DRAM round trips.
+  (memory responses, retry timers) or SM wake-up, avoiding dead
+  per-cycle work while warps wait out hundred-cycle DRAM round trips.
+
+The issue loop is *ready-set driven*: instead of polling every SM every
+cycle, the simulator keeps the set of SMs that might issue now.  An SM
+that reports "nothing to do" leaves the set and registers its next
+possible issue cycle in a wake heap; it re-enters when that cycle
+arrives or when :meth:`note_warp_ready` fires (a warp's last outstanding
+load retired).  Wake entries may go stale (a retry can push the issue
+port further out) -- a stale wake just triggers one no-op poll, which
+keeps the schedule bit-identical to the poll-every-SM loop this
+replaced (pinned by ``tests/test_golden_parity.py``).
+
+Events live in a typed wheel: fixed-shape heap entries tagged
+``_EV_FILL`` (off-chip response for a block) or ``_EV_RETRY``
+(re-present a rejected transaction), dispatched directly to the owning
+SM -- no per-event varargs callback indirection.  Per-transaction load
+*completions* are not events at all; the LSU retires hits eagerly (see
+:mod:`repro.gpu.sm`).
 
 Each SM owns a **private** L1D instance (built by the supplied factory),
 mirroring the per-SM L1D caches of the real machine; the memory subsystem
@@ -15,7 +32,7 @@ mirroring the per-SM L1D caches of the real machine; the memory subsystem
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable, Iterable, List, Optional
 
 from repro.cache.interface import L1DCacheModel
@@ -29,6 +46,12 @@ from repro.gpu.stats import (
 from repro.gpu.warp import Warp
 from repro.memory.subsystem import MemorySubsystem
 from repro.workloads.trace import WarpInstruction
+
+#: typed event-wheel tags (fixed-shape entries, direct dispatch)
+_EV_FILL = 0      # (cycle, seq, _EV_FILL, sm, block_addr, None, 0)
+_EV_RETRY = 1     # (cycle, seq, _EV_RETRY, sm, request, waiting_warp, attempts)
+_EV_WAKE = 2      # (cycle, seq, _EV_WAKE, sm_id, None, None, 0)
+_EV_CALL = 3      # (cycle, seq, _EV_CALL, callback, args, None, 0)
 
 
 class GPUSimulator:
@@ -60,6 +83,8 @@ class GPUSimulator:
         self._event_seq = 0
         self.cycle = 0
         self._wakeups: set = set()
+        #: SM ids that might issue at the current cycle
+        self._active: set = set()
 
         active_warps = warps_per_sm or config.warps_per_sm
         if active_warps > config.warps_per_sm:
@@ -85,34 +110,81 @@ class GPUSimulator:
 
     # ------------------------------------------------------------------
     def schedule(self, cycle: int, callback, *args) -> None:
-        """Schedule ``callback(*args, cycle=fire_cycle)`` at *cycle*."""
+        """Schedule ``callback(*args, fire_cycle)`` at *cycle*.
+
+        The fire cycle is appended as the last **positional** argument
+        (matching how the event wheel dispatches); callbacks must accept
+        it that way, e.g. ``def on_fire(payload, cycle): ...``.  Events
+        scheduled in the past fire at the current cycle.  The simulator's
+        own traffic uses the typed fill/retry entries instead; this
+        generic form remains for extensions and tests.
+        """
         if cycle < self.cycle:
             cycle = self.cycle
         self._event_seq += 1
-        heapq.heappush(self._events, (cycle, self._event_seq, callback, args))
+        heappush(
+            self._events,
+            (cycle, self._event_seq, _EV_CALL, callback, args, None, 0),
+        )
+
+    def schedule_fill(self, cycle: int, sm: SM, block_addr: int) -> None:
+        """Typed event: the off-chip response for *block_addr* arrives."""
+        if cycle < self.cycle:
+            cycle = self.cycle
+        self._event_seq += 1
+        heappush(
+            self._events,
+            (cycle, self._event_seq, _EV_FILL, sm, block_addr, None, 0),
+        )
+
+    def schedule_retry(
+        self, cycle: int, sm: SM, request, waiting_warp, attempts: int
+    ) -> None:
+        """Typed event: re-present a transaction rejected by a hazard."""
+        if cycle < self.cycle:
+            cycle = self.cycle
+        self._event_seq += 1
+        heappush(
+            self._events,
+            (cycle, self._event_seq, _EV_RETRY, sm, request, waiting_warp,
+             attempts),
+        )
+
+    def schedule_wake(self, cycle: int, sm_id: int) -> None:
+        """Typed event: a warp's last outstanding load lands at *cycle*.
+
+        One wake per warp-unblock replaces the per-transaction completion
+        events of the old loop: it fires :meth:`note_warp_ready` exactly
+        when the data is usable, keeping the clock's advance pattern (and
+        therefore the final cycle count) bit-identical.
+        """
+        if cycle < self.cycle:
+            cycle = self.cycle
+        self._event_seq += 1
+        heappush(
+            self._events,
+            (cycle, self._event_seq, _EV_WAKE, sm_id, None, None, 0),
+        )
 
     def note_warp_ready(self, sm_id: int) -> None:
         """An SM regained a ready warp (wakes the issue loop)."""
         self._wakeups.add(sm_id)
+        self._active.add(sm_id)
 
     # ------------------------------------------------------------------
     def _run_due_events(self) -> None:
         events = self._events
-        while events and events[0][0] <= self.cycle:
-            _, _, callback, args = heapq.heappop(events)
-            callback(*args, self.cycle)
-
-    def _next_interesting_cycle(self) -> Optional[int]:
-        candidates = []
-        if self._events:
-            candidates.append(self._events[0][0])
-        for sm in self.sms:
-            when = sm.next_event_time(self.cycle)
-            if when is not None:
-                candidates.append(when)
-        if not candidates:
-            return None
-        return max(min(candidates), self.cycle + 1)
+        cycle = self.cycle
+        while events and events[0][0] <= cycle:
+            _, _, kind, target, a, b, c = heappop(events)
+            if kind == _EV_FILL:
+                target._handle_fill(a, cycle)
+            elif kind == _EV_RETRY:
+                target._present(a, b, cycle, c)
+            elif kind == _EV_WAKE:
+                self.note_warp_ready(target)
+            else:
+                target(*a, cycle)
 
     # ------------------------------------------------------------------
     def run(self, workload_name: str = "", config_name: str = "") -> SimulationResult:
@@ -123,49 +195,70 @@ class GPUSimulator:
                 workload or a genuine deadlock -- the error message says
                 which SMs were stuck).
         """
+        sms = self.sms
+        events = self._events
+        active = self._active
+        active.update(range(len(sms)))
+        wake_heap: List = []
+        wakeups = self._wakeups
+        max_cycles = self.max_cycles
+
         while True:
             self._run_due_events()
 
-            issued_any = False
-            for sm in self.sms:
-                if sm.try_issue(self.cycle):
-                    issued_any = True
+            cycle = self.cycle
+            while wake_heap and wake_heap[0][0] <= cycle:
+                active.add(heappop(wake_heap)[1])
 
-            if issued_any or self._wakeups:
-                self._wakeups.clear()
-                self.cycle += 1
+            issued_any = False
+            if active:
+                for sm_id in sorted(active):
+                    sm = sms[sm_id]
+                    if sm.try_issue(cycle):
+                        issued_any = True
+                    else:
+                        active.discard(sm_id)
+                        when = sm.next_event_time(cycle)
+                        if when is not None:
+                            heappush(wake_heap, (when, sm_id))
+
+            if issued_any or wakeups:
+                wakeups.clear()
+                self.cycle = cycle + 1
             else:
-                nxt = self._next_interesting_cycle()
+                nxt: Optional[int] = events[0][0] if events else None
+                if wake_heap and (nxt is None or wake_heap[0][0] < nxt):
+                    nxt = wake_heap[0][0]
                 if nxt is None:
-                    if all(sm.done for sm in self.sms):
+                    if all(sm.done for sm in sms):
                         break
-                    stuck = [sm.sm_id for sm in self.sms if not sm.done]
+                    stuck = [sm.sm_id for sm in sms if not sm.done]
                     raise RuntimeError(
-                        f"deadlock at cycle {self.cycle}: SMs {stuck} have "
+                        f"deadlock at cycle {cycle}: SMs {stuck} have "
                         "blocked warps but no pending events"
                     )
-                self.cycle = nxt
+                self.cycle = nxt if nxt > cycle else cycle + 1
 
-            if self.cycle > self.max_cycles:
+            if self.cycle > max_cycles:
                 raise RuntimeError(
                     f"exceeded max_cycles={self.max_cycles}; aborting"
                 )
 
         # drain any same-cycle stragglers and finish bookkeeping
         self._run_due_events()
-        for sm in self.sms:
+        for sm in sms:
             sm.l1d.flush_metadata()
 
         return SimulationResult(
             config_name=config_name,
             workload_name=workload_name,
             cycles=self.cycle,
-            instructions=sum(sm.instructions for sm in self.sms),
-            l1d=merge_cache_stats(sm.l1d.stats for sm in self.sms),
+            instructions=sum(sm.instructions for sm in sms),
+            l1d=merge_cache_stats(sm.l1d.stats for sm in sms),
             memory=self.memory.finalize_stats(),
-            issue_busy_cycles=sum(sm.issue_busy_cycles for sm in self.sms),
-            num_sms=len(self.sms),
-            load_transactions=sum(sm.load_transactions for sm in self.sms),
-            store_transactions=sum(sm.store_transactions for sm in self.sms),
-            retries=sum(sm.retries for sm in self.sms),
+            issue_busy_cycles=sum(sm.issue_busy_cycles for sm in sms),
+            num_sms=len(sms),
+            load_transactions=sum(sm.load_transactions for sm in sms),
+            store_transactions=sum(sm.store_transactions for sm in sms),
+            retries=sum(sm.retries for sm in sms),
         )

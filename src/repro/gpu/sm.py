@@ -7,11 +7,18 @@ Per cycle the scheduler picks one ready warp:
 * a **compute block** occupies the issue port for ``count`` cycles and
   credits ``count`` instructions -- identical IPC accounting to issuing
   the instructions one by one, at O(1) simulation cost;
-* a **memory instruction** hands its coalesced transactions to the LSU,
-  which presents them to the L1D one per cycle.  Loads block the warp
-  until every transaction's data returns; stores retire once the L1D
-  accepts them (write-back semantics -- the store's cost surfaces as bank
-  occupancy and write-backs, not as warp stall).
+* a **memory instruction** hands its coalesced transactions to the LSU
+  as one batch.  The LSU still models one L1D presentation per cycle
+  (transaction ``k`` arrives at ``cycle + k``), but transactions that
+  hit retire *eagerly* through
+  :meth:`~repro.gpu.warp.Warp.complete_transaction_at` -- the warp's
+  wake-up cycle accumulates the latest data-ready cycle instead of one
+  scheduler event per transaction.  Loads block the warp until every
+  transaction's data returns; stores retire once the L1D accepts them
+  (write-back semantics -- the store's cost surfaces as bank occupancy
+  and write-backs, not as warp stall).  Only genuinely asynchronous
+  work -- off-chip fills and hazard retries -- goes through the event
+  wheel.
 
 ``RESERVATION_FAIL`` results retry after ``RETRY_INTERVAL`` cycles, which
 is how structural hazards (MSHR full, tag-queue full, swap-buffer full,
@@ -75,14 +82,6 @@ class SM:
         )
         return self._done
 
-    def ready_warps(self, cycle: int) -> List[Warp]:
-        """Warps able to issue at *cycle*."""
-        return [
-            warp
-            for warp in self.warps
-            if not warp.done and not warp.blocked and warp.ready_at <= cycle
-        ]
-
     def next_event_time(self, cycle: int) -> Optional[int]:
         """Earliest future cycle at which this SM could issue.
 
@@ -91,37 +90,24 @@ class SM:
         """
         if self.done:
             return None
-        candidates = [
-            warp.ready_at
-            for warp in self.warps
-            if not warp.done and not warp.blocked
-        ]
-        if not candidates:
+        best: Optional[int] = None
+        for warp in self.warps:
+            if not warp.done and warp.outstanding == 0:
+                ready_at = warp.ready_at
+                if best is None or ready_at < best:
+                    best = ready_at
+        if best is None:
             return None
-        return max(min(candidates), self.port_busy_until, cycle)
+        return max(best, self.port_busy_until, cycle)
 
     # ------------------------------------------------------------------
     def try_issue(self, cycle: int) -> bool:
         """Issue at most one instruction; True when something issued."""
         if cycle < self.port_busy_until:
             return False
-        # Fast path for GTO (the default): the greedily-held warp is very
-        # often still ready, so skip building the full ready list.
-        warp = None
-        current = getattr(self.scheduler, "_current", None)
-        if current is not None and current < len(self.warps):
-            candidate = self.warps[current]
-            if (
-                not candidate.done
-                and not candidate.blocked
-                and candidate.ready_at <= cycle
-            ):
-                warp = candidate
+        warp = self.scheduler.pick(self.warps, cycle)
         if warp is None:
-            ready = self.ready_warps(cycle)
-            if not ready:
-                return False
-            warp = self.scheduler.select(ready, cycle)
+            return False
         instruction = warp.next_instruction()
         if instruction is None:
             return False
@@ -152,30 +138,45 @@ class SM:
         self.instructions += 1
 
         is_load = instruction.kind == LOAD
-        access_type = AccessType.LOAD if is_load else AccessType.STORE
         transactions = instruction.transactions
         if not transactions:
             warp.ready_at = cycle + 1
             return
         if is_load:
+            access_type = AccessType.LOAD
+            waiting_warp: Optional[Warp] = warp
             warp.block_on(len(transactions))
             self.load_transactions += len(transactions)
         else:
             # stores retire at issue; bank pressure is modelled in the cache
+            access_type = AccessType.STORE
+            waiting_warp = None
             warp.ready_at = cycle + 1
             self.store_transactions += len(transactions)
 
-        for lane, block_addr in enumerate(transactions):
-            request = MemoryRequest(
-                address=block_addr << 7,
-                access_type=access_type,
-                pc=instruction.pc,
-                sm_id=self.sm_id,
-                warp_id=warp.warp_id,
-                issue_cycle=cycle + lane,
+        # batch the whole coalesced access: the LSU presents one
+        # transaction per cycle, hits retire eagerly, and only misses and
+        # hazard retries touch the event wheel
+        pc = instruction.pc
+        sm_id = self.sm_id
+        warp_id = warp.warp_id
+        present = self._present
+        arrival = cycle
+        for block_addr in transactions:
+            present(
+                MemoryRequest(
+                    address=block_addr << 7,
+                    access_type=access_type,
+                    pc=pc,
+                    sm_id=sm_id,
+                    warp_id=warp_id,
+                    issue_cycle=arrival,
+                ),
+                waiting_warp,
+                arrival,
+                0,
             )
-            # the LSU presents one transaction per cycle
-            self._present(request, warp if is_load else None, cycle + lane, 0)
+            arrival += 1
 
     # ------------------------------------------------------------------
     def _present(
@@ -191,43 +192,42 @@ class SM:
                 f"livelock: transaction 0x{request.address:x} on SM "
                 f"{self.sm_id} exceeded {MAX_RETRIES} retries"
             )
+        sim = self.sim
         result = self.l1d.access(request, cycle)
 
         for dirty_block in result.writebacks:
-            self.sim.memory.issue_writeback(dirty_block, self.sm_id, cycle)
+            sim.memory.issue_writeback(dirty_block, self.sm_id, cycle)
 
         outcome = result.outcome
         if outcome is AccessOutcome.HIT:
-            if waiting_warp is not None:
-                self.sim.schedule(
-                    result.ready_cycle,
-                    self._complete_load,
-                    waiting_warp,
-                )
+            if waiting_warp is not None and waiting_warp.complete_transaction_at(
+                result.ready_cycle
+            ):
+                sim.schedule_wake(waiting_warp.ready_at, self.sm_id)
             return
         if outcome is AccessOutcome.HIT_PENDING:
             # the fill's completion list will include this request
             return
         if outcome is AccessOutcome.MISS:
-            completion, _ = self.sim.memory.issue_read(
+            completion = sim.memory.issue_read(
                 request.block_addr, self.sm_id, cycle
             )
-            self.sim.schedule(completion, self._handle_fill, request.block_addr)
+            sim.schedule_fill(completion, self, request.block_addr)
             return
         if outcome is AccessOutcome.MISS_BYPASS:
             if request.is_write:
                 # a bypassed store is write traffic straight to L2
-                self.sim.memory.issue_writeback(
+                sim.memory.issue_writeback(
                     request.block_addr, self.sm_id, cycle
                 )
             else:
-                completion, _ = self.sim.memory.issue_read(
+                completion = sim.memory.issue_read(
                     request.block_addr, self.sm_id, cycle
                 )
-                if waiting_warp is not None:
-                    self.sim.schedule(
-                        completion, self._complete_load, waiting_warp
-                    )
+                if waiting_warp is not None and (
+                    waiting_warp.complete_transaction_at(completion)
+                ):
+                    sim.schedule_wake(waiting_warp.ready_at, self.sm_id)
             return
         # RESERVATION_FAIL: the LSU cannot hand the transaction over, so
         # the in-order memory pipeline backs up and the SM's issue port
@@ -236,38 +236,23 @@ class SM:
         # pathology for the small L1-SRAM.
         self.retries += 1
         retry_at = cycle + RETRY_INTERVAL
-        self.port_busy_until = max(self.port_busy_until, retry_at)
+        if retry_at > self.port_busy_until:
+            self.port_busy_until = retry_at
         self.lsu_stall_cycles += RETRY_INTERVAL
-        self.sim.schedule(
-            retry_at,
-            self._retry,
-            request,
-            waiting_warp,
-            attempts + 1,
-        )
-
-    def _retry(
-        self,
-        request: MemoryRequest,
-        waiting_warp: Optional[Warp],
-        attempts: int,
-        cycle: int,
-    ) -> None:
-        """Event-loop adapter: re-present a rejected transaction."""
-        self._present(request, waiting_warp, cycle, attempts)
+        sim.schedule_retry(retry_at, self, request, waiting_warp, attempts + 1)
 
     # ------------------------------------------------------------------
     def _handle_fill(self, block_addr: int, cycle: int) -> None:
-        """Off-chip response arrived: fill the L1D, wake merged loads."""
+        """Off-chip response arrived: fill the L1D, retire merged loads."""
         fill = self.l1d.fill(block_addr, cycle)
         for dirty_block in fill.writebacks:
             self.sim.memory.issue_writeback(dirty_block, self.sm_id, cycle)
+        ready = fill.ready_cycle
+        warps = self.warps
+        sim = self.sim
+        sm_id = self.sm_id
         for request in fill.completed:
             if request.access_type is AccessType.LOAD:
-                warp = self.warps[request.warp_id]
-                self.sim.schedule(fill.ready_cycle, self._complete_load, warp)
-
-    def _complete_load(self, warp: Warp, cycle: int) -> None:
-        """One of the warp's pending load transactions finished."""
-        if warp.complete_transaction(cycle):
-            self.sim.note_warp_ready(self.sm_id)
+                warp = warps[request.warp_id]
+                if warp.complete_transaction_at(ready):
+                    sim.schedule_wake(warp.ready_at, sm_id)

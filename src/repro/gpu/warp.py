@@ -69,7 +69,13 @@ class Warp:
     # ------------------------------------------------------------------
     @property
     def blocked(self) -> bool:
-        """True while the warp waits on outstanding load transactions."""
+        """True while the warp waits on outstanding load transactions.
+
+        Hot paths (``WarpScheduler.pick``, ``SM.next_event_time``) inline
+        the full readiness predicate -- ``not done and outstanding == 0
+        and ready_at <= cycle`` -- instead of calling this property;
+        a new blocking condition must be added to those sites too.
+        """
         return self.outstanding > 0
 
     def block_on(self, transactions: int) -> None:
@@ -85,6 +91,28 @@ class Warp:
             self.ready_at = max(self.ready_at, cycle)
             return True
         return False
+
+    def complete_transaction_at(self, ready_cycle: int) -> bool:
+        """Retire one pending load whose data arrives at *ready_cycle*.
+
+        Unlike :meth:`complete_transaction` (which is driven by an event
+        firing at the completion cycle), this form lets the LSU retire
+        transactions *eagerly* at issue/fill-processing time: the warp
+        stays blocked until the count drains, and ``ready_at``
+        accumulates the maximum data-ready cycle so the warp becomes
+        issueable exactly when its last transaction's data lands --
+        bit-identical to the event-per-transaction formulation, without
+        the per-transaction event traffic.
+
+        Returns True when the warp just became unblocked.
+        """
+        outstanding = self.outstanding
+        if outstanding <= 0:
+            raise RuntimeError("complete_transaction_at() without pending loads")
+        self.outstanding = outstanding - 1
+        if ready_cycle > self.ready_at:
+            self.ready_at = ready_cycle
+        return outstanding == 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else (

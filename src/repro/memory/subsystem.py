@@ -4,8 +4,12 @@
 into the two operations the GPU simulator needs:
 
 * :meth:`issue_read` -- a read request for one block; returns the
-  completion cycle plus the per-component latency breakdown that feeds
-  Figure 1a.
+  completion cycle.  Per-component latency is accumulated into plain
+  integer slot counters (no :class:`~repro.gpu.stats.LatencyBreakdown`
+  object per access -- this is the simulator's hottest allocation site);
+  :meth:`finalize_stats` materializes the aggregate breakdown that feeds
+  Figure 1a, and :meth:`issue_read_sampled` materializes a per-access
+  breakdown on demand (tests, latency studies).
 * :meth:`issue_writeback` -- fire-and-forget dirty-block traffic; it
   consumes network/L2/DRAM bandwidth (so it congests reads, the paper's
   write-pressure effect) but nobody waits on it.
@@ -15,6 +19,8 @@ which keeps the Python simulator fast while preserving queueing behaviour.
 """
 
 from __future__ import annotations
+
+from typing import Tuple
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import LatencyBreakdown, MemorySystemStats
@@ -37,6 +43,10 @@ class MemorySubsystem:
             for channel_id in range(config.dram_channels)
         ]
         self.stats = MemorySystemStats()
+        # latency slot counters (materialized by finalize_stats)
+        self._lat_network = 0
+        self._lat_l2 = 0
+        self._lat_dram = 0
 
     # ------------------------------------------------------------------
     def _l2_bank_of(self, block_addr: int) -> L2Bank:
@@ -50,16 +60,19 @@ class MemorySubsystem:
         return block_addr // self.config.dram_channels
 
     # ------------------------------------------------------------------
-    def issue_read(self, block_addr: int, sm_id: int, cycle: int):
-        """Fetch one block for an L1D miss.
+    def issue_read(self, block_addr: int, sm_id: int, cycle: int) -> int:
+        """Fetch one block for an L1D miss; returns the completion cycle.
 
-        Returns:
-            ``(completion_cycle, LatencyBreakdown)`` -- the breakdown is
-            also accumulated into ``self.stats.latency``.
+        The slot-based fast path: per-component latency goes into
+        integer accumulators, no breakdown object is constructed.  Use
+        :meth:`issue_read_sampled` when the per-access decomposition is
+        needed.
         """
-        self.stats.reads += 1
-        arrive_l2, net_out = self.network.send_request(sm_id, cycle)
-        self.stats.request_flits += self.network.request_flits
+        stats = self.stats
+        network = self.network
+        stats.reads += 1
+        arrive_l2, net_out = network.send_request(sm_id, cycle)
+        stats.request_flits += network.request_flits
 
         bank = self._l2_bank_of(block_addr)
         service_start = bank.start_service(arrive_l2)
@@ -68,46 +81,55 @@ class MemorySubsystem:
             block_addr, is_write=False, cycle=service_start
         )
 
-        dram_cycles = 0
         if hit:
-            self.stats.l2_hits += 1
+            stats.l2_hits += 1
             data_at = service_done
         else:
-            self.stats.l2_misses += 1
+            stats.l2_misses += 1
             channel = self._channel_of(block_addr)
             dram_done = channel.access(
                 self._dram_block_addr(block_addr), service_done, is_write=False
             )
-            self.stats.dram_reads += 1
+            stats.dram_reads += 1
             if victim != -1:
                 # L2 victim writeback rides the same channel afterwards
                 victim_channel = self._channel_of(victim)
                 victim_channel.access(
                     self._dram_block_addr(victim), dram_done, is_write=True
                 )
-                self.stats.dram_writes += 1
-            dram_cycles = dram_done - service_done
+                stats.dram_writes += 1
+            self._lat_dram += dram_done - service_done
             data_at = dram_done
 
-        completion, net_back = self.network.send_response(
-            bank.bank_id, data_at
-        )
-        self.stats.response_flits += self.network.response_flits
+        completion, net_back = network.send_response(bank.bank_id, data_at)
+        stats.response_flits += network.response_flits
 
-        breakdown = LatencyBreakdown(
-            network=net_out + net_back,
-            l2=l2_wait + self.config.l2_service_cycles,
-            dram=dram_cycles,
+        self._lat_network += net_out + net_back
+        self._lat_l2 += l2_wait + self.config.l2_service_cycles
+        return completion
+
+    def issue_read_sampled(
+        self, block_addr: int, sm_id: int, cycle: int
+    ) -> Tuple[int, LatencyBreakdown]:
+        """Like :meth:`issue_read`, but also materialize this access's
+        :class:`LatencyBreakdown` (sampling/diagnostic path)."""
+        network_before = self._lat_network
+        l2_before = self._lat_l2
+        dram_before = self._lat_dram
+        completion = self.issue_read(block_addr, sm_id, cycle)
+        return completion, LatencyBreakdown(
+            network=self._lat_network - network_before,
+            l2=self._lat_l2 - l2_before,
+            dram=self._lat_dram - dram_before,
         )
-        self.stats.latency = self.stats.latency + breakdown
-        return completion, breakdown
 
     # ------------------------------------------------------------------
     def issue_writeback(self, block_addr: int, sm_id: int, cycle: int) -> None:
         """Send one dirty block toward L2 (fire-and-forget)."""
-        self.stats.writebacks += 1
+        stats = self.stats
+        stats.writebacks += 1
         arrive_l2, _ = self.network.send_writeback(sm_id, cycle)
-        self.stats.request_flits += self.network.response_flits
+        stats.request_flits += self.network.response_flits
 
         bank = self._l2_bank_of(block_addr)
         service_start = bank.start_service(arrive_l2)
@@ -115,19 +137,24 @@ class MemorySubsystem:
             block_addr, is_write=True, cycle=service_start
         )
         if hit:
-            self.stats.l2_hits += 1
+            stats.l2_hits += 1
         else:
-            self.stats.l2_misses += 1
+            stats.l2_misses += 1
         if victim != -1:
             channel = self._channel_of(victim)
             channel.access(
                 self._dram_block_addr(victim), service_start, is_write=True
             )
-            self.stats.dram_writes += 1
+            stats.dram_writes += 1
 
     # ------------------------------------------------------------------
     def finalize_stats(self) -> MemorySystemStats:
         """Fold per-component counters into the stats object."""
+        self.stats.latency = LatencyBreakdown(
+            network=self._lat_network,
+            l2=self._lat_l2,
+            dram=self._lat_dram,
+        )
         for channel in self.channels:
             self.stats.dram_row_hits += channel.row_hits
             self.stats.dram_row_misses += channel.row_misses

@@ -15,7 +15,8 @@ kinds exist:
 
 ``TraceScale`` carries the scale-down knobs: the paper simulates >1e9
 instructions per workload, which a pure-Python model cannot; all reported
-quantities are ratios that survive scaling (DESIGN.md, "Substitutions").
+quantities are ratios that survive scaling (ARCHITECTURE.md, "Model
+notes").
 """
 
 from __future__ import annotations

@@ -1,0 +1,138 @@
+"""Golden-parity pin for the simulation core.
+
+Every refactor of the cache engines, the GPU issue loop or the memory
+subsystem must preserve **bit-identical** simulation results.  This
+module pins that contract: ``tests/data/golden_parity.json`` holds the
+complete counter payload (cycles, instructions, every L1D counter,
+every memory-system counter, transaction/retry totals) of one
+simulation per (Table I config, workload, scale) tuple, recorded on the
+pre-refactor engine.  The test re-runs each tuple through
+:func:`repro.engine.spec.execute_spec` -- the single execution path all
+harnesses share -- and asserts the payload matches field for field.
+
+Regenerating the goldens (only legitimate after an *intentional*
+model-behaviour change, never to paper over a refactor diff)::
+
+    PYTHONPATH=src python tests/test_golden_parity.py --record
+
+The energy report is derived arithmetically from these counters and is
+excluded from the payload (float formatting would add noise without
+adding coverage).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.engine.serialize import result_to_dict
+from repro.engine.spec import RunSpec, execute_spec
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_parity.json"
+
+#: (config, workload, scale) tuples pinned by the golden file.  Smoke
+#: scale covers every Table I engine; the test-scale rows warm up the
+#: dead-write and read-level predictors enough to exercise bypass,
+#: migration and flush paths that smoke traces barely touch.
+GOLDEN_RUNS = [
+    *[(config, workload, "smoke")
+      for config in ("L1-SRAM", "FA-SRAM", "L1-NVM", "By-NVM", "Oracle",
+                     "Hybrid", "Base-FUSE", "FA-FUSE", "Dy-FUSE")
+      for workload in ("2DCONV", "ATAX")],
+    ("By-NVM", "PVC", "test"),
+    ("Hybrid", "PVC", "test"),
+    ("Dy-FUSE", "PVC", "test"),
+    ("Dy-FUSE", "SS", "test"),
+]
+
+#: machine shape shared by every golden run
+GOLDEN_SMS = 2
+GOLDEN_SEED = 0
+GOLDEN_PROFILE = "fermi"
+
+
+def run_id(config: str, workload: str, scale: str) -> str:
+    return f"{config}|{workload}|{GOLDEN_PROFILE}|{scale}|sms{GOLDEN_SMS}|seed{GOLDEN_SEED}"
+
+
+def simulate_payload(config: str, workload: str, scale: str) -> dict:
+    """Execute one golden run and flatten it to the compared payload."""
+    spec = RunSpec.build(
+        config, workload, gpu_profile=GOLDEN_PROFILE, scale=scale,
+        seed=GOLDEN_SEED, num_sms=GOLDEN_SMS,
+    )
+    payload = result_to_dict(execute_spec(spec))
+    payload.pop("energy", None)
+    return payload
+
+
+def payload_digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    if not GOLDEN_PATH.exists():  # pragma: no cover - repo invariant
+        pytest.fail(
+            f"{GOLDEN_PATH} missing; record it with "
+            "`PYTHONPATH=src python tests/test_golden_parity.py --record`"
+        )
+    return _load_goldens()
+
+
+def test_golden_file_covers_declared_runs(goldens):
+    assert sorted(goldens["runs"]) == sorted(
+        run_id(*run) for run in GOLDEN_RUNS
+    )
+
+
+@pytest.mark.parametrize(
+    "config,workload,scale", GOLDEN_RUNS,
+    ids=[f"{c}-{w}-{s}" for c, w, s in GOLDEN_RUNS],
+)
+def test_golden_parity(goldens, config, workload, scale):
+    recorded = goldens["runs"][run_id(config, workload, scale)]
+    payload = simulate_payload(config, workload, scale)
+    # digest first for a crisp one-line failure, full dict for the diff
+    if payload_digest(payload) != recorded["digest"]:
+        assert payload == recorded["payload"], (
+            f"simulation diverged from golden recording for "
+            f"{config} on {workload} ({scale} scale)"
+        )
+        pytest.fail("digest mismatch but payloads equal: golden file corrupt")
+
+
+def record() -> None:  # pragma: no cover - maintenance entry point
+    runs = {}
+    for config, workload, scale in GOLDEN_RUNS:
+        payload = simulate_payload(config, workload, scale)
+        runs[run_id(config, workload, scale)] = {
+            "digest": payload_digest(payload),
+            "payload": payload,
+        }
+        print(f"recorded {run_id(config, workload, scale)}")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(
+        {"comment": "golden SimulationResult payloads; see "
+                    "tests/test_golden_parity.py",
+         "runs": runs},
+        indent=1, sort_keys=True,
+    ) + "\n")
+    print(f"wrote {len(runs)} goldens to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if "--record" in sys.argv:
+        record()
+    else:
+        print(__doc__)

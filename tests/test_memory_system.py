@@ -104,7 +104,7 @@ class TestDRAM:
 class TestSubsystem:
     def test_read_roundtrip_and_breakdown(self, config):
         mem = MemorySubsystem(config)
-        completion, breakdown = mem.issue_read(0x1234, sm_id=0, cycle=0)
+        completion, breakdown = mem.issue_read_sampled(0x1234, sm_id=0, cycle=0)
         assert completion > 0
         assert breakdown.network > 0
         assert breakdown.l2 > 0
@@ -113,16 +113,16 @@ class TestSubsystem:
 
     def test_second_read_hits_l2(self, config):
         mem = MemorySubsystem(config)
-        first, _ = mem.issue_read(0x1234, 0, 0)
-        _, breakdown = mem.issue_read(0x1234, 0, first + 10)
+        first = mem.issue_read(0x1234, 0, 0)
+        _, breakdown = mem.issue_read_sampled(0x1234, 0, first + 10)
         assert breakdown.dram == 0
         assert mem.stats.l2_hits == 1
 
     def test_l2_hit_latency_below_dram_latency(self, config):
         mem = MemorySubsystem(config)
-        miss_done, _ = mem.issue_read(0x999, 0, 0)
+        miss_done = mem.issue_read(0x999, 0, 0)
         miss_latency = miss_done
-        hit_done, _ = mem.issue_read(0x999, 0, miss_done)
+        hit_done = mem.issue_read(0x999, 0, miss_done)
         assert hit_done - miss_done < miss_latency
 
     def test_writebacks_counted(self, config):
@@ -130,11 +130,24 @@ class TestSubsystem:
         mem.issue_writeback(0x55, 0, 0)
         assert mem.stats.writebacks == 1
 
+    def test_slot_counters_match_sampled_breakdowns(self, config):
+        """The fast path's integer slots must equal the sum of per-access
+        breakdowns once materialized."""
+        mem = MemorySubsystem(config)
+        _, first = mem.issue_read_sampled(0x1, 0, 0)
+        _, second = mem.issue_read_sampled(0x2, 0, 0)
+        total = first + second
+        stats = mem.finalize_stats()
+        assert stats.latency.network == total.network
+        assert stats.latency.l2 == total.l2
+        assert stats.latency.dram == total.dram
+        assert stats.latency.total > 0
+
     def test_latency_accumulates(self, config):
         mem = MemorySubsystem(config)
         mem.issue_read(0x1, 0, 0)
         mem.issue_read(0x2, 0, 0)
-        assert mem.stats.latency.total > 0
+        assert mem.finalize_stats().latency.total > 0
 
     def test_finalize_collects_row_stats(self, config):
         mem = MemorySubsystem(config)
