@@ -1,0 +1,42 @@
+"""DNN-suite sweep: the config ladder on deep-learning tensor traffic.
+
+No paper counterpart -- FUSE's evaluation stops at the 21 Table II
+kernels.  DeepNVM++ (Inci et al.) and Roy et al.'s STT-MRAM scratchpad
+study motivate the scenario: DNN layers mix streaming activations, hot
+weight tiles and (for attention) skewed gathers, so the FUSE machinery
+has both bypassable dead streams and WM accumulators to route.
+
+Expected shape: Dy-FUSE holds its own against the SRAM baseline on the
+regular members (conv2d, gemm-tile) and the attention gathers behave
+like the paper's irregular class.
+"""
+
+from benchmarks.common import emit, fermi_runner, rows_to_table
+from repro.harness.experiments import dnn_sweep
+
+CONFIGS = ["L1-SRAM", "By-NVM", "Hybrid", "Dy-FUSE"]
+
+
+def test_dnn_sweep(benchmark):
+    runner = fermi_runner()
+    rows = benchmark.pedantic(
+        lambda: dnn_sweep(runner, configs=CONFIGS), rounds=1, iterations=1
+    )
+    table = rows_to_table(
+        rows,
+        columns=CONFIGS + ["miss_rate", "bypass"],
+        title="DNN suite: IPC normalized to L1-SRAM "
+              "(miss/bypass for Dy-FUSE)",
+    )
+    emit("dnn_sweep", table)
+
+    gmeans = rows[-1]
+    assert gmeans["workload"] == "GMEANS"
+    # every run produced a real, nonzero normalized IPC (per-row: the
+    # gmean clamps zeros and would mask a dead config)
+    for row in rows[:-1]:
+        for config in CONFIGS:
+            assert row[config] > 0.0, (row["workload"], config)
+    # the blocking-STT Hybrid should not beat the full Dy-FUSE design
+    # on average (the paper's ladder, carried over to the new suite)
+    assert gmeans["Dy-FUSE"] >= gmeans["Hybrid"] * 0.95

@@ -12,8 +12,9 @@ The package builds the paper's full stack from scratch in Python:
 * :mod:`repro.memory` -- interconnect, shared L2 banks and GDDR5 DRAM.
 * :mod:`repro.energy` -- GPUWattch-style energy model + Table III area
   estimation.
-* :mod:`repro.workloads` -- synthetic models of the 21 Table II
-  benchmarks.
+* :mod:`repro.workloads` -- the workload platform: synthetic models of
+  the 21 Table II benchmarks, a DNN-layer suite, an open registry for
+  custom kernels, and portable JSONL trace export/import.
 * :mod:`repro.engine` -- parallel experiment engine: content-hashed run
   identities, a multiprocessing sweep executor, and a persistent
   on-disk result store.
@@ -50,8 +51,19 @@ from repro.gpu.config import GPUConfig, fermi_like, volta_like
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.stats import SimulationResult
 from repro.harness.runner import Runner, default_runner
-from repro.workloads.benchmarks import benchmark, benchmark_names
+from repro.workloads.benchmarks import (
+    benchmark,
+    benchmark_names,
+    workload_names,
+)
+from repro.workloads.kernels import KernelModel
+from repro.workloads.registry import (
+    REGISTRY,
+    WorkloadRegistry,
+    register_workload,
+)
 from repro.workloads.trace import TraceScale
+from repro.workloads.tracefile import export_trace, load_trace
 
 __version__ = "1.0.0"
 
@@ -61,7 +73,9 @@ __all__ = [
     "FuseFeatures",
     "GPUConfig",
     "GPUSimulator",
+    "KernelModel",
     "L1DConfig",
+    "REGISTRY",
     "ReadLevel",
     "ReadLevelPredictor",
     "ResultStore",
@@ -70,16 +84,21 @@ __all__ = [
     "Runner",
     "SimulationResult",
     "TraceScale",
+    "WorkloadRegistry",
     "default_store_path",
     "benchmark",
     "benchmark_names",
     "config_for_budget",
     "default_runner",
+    "export_trace",
     "fermi_like",
     "known_configs",
     "l1d_config",
+    "load_trace",
     "make_l1d",
     "ratio_config",
+    "register_workload",
     "volta_like",
+    "workload_names",
     "__version__",
 ]

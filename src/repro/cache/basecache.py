@@ -34,6 +34,10 @@ from repro.cache.mshr import MSHR
 from repro.cache.request import MemoryRequest
 from repro.cache.tag_array import EvictedLine, TagArray
 
+__all__ = [
+    "BaseCache",
+]
+
 
 class BaseCache(L1DCacheModel):
     """Set-associative, write-back, write-allocate, non-blocking cache.

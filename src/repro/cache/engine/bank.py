@@ -15,6 +15,10 @@ from typing import Optional
 
 from repro.cache.stats import CacheStats
 
+__all__ = [
+    "BankPort",
+]
+
 
 class BankPort:
     """Busy-until timing plus occupancy/stall/energy accounting.

@@ -24,6 +24,10 @@ from repro.cache.mshr import MSHR, MSHREntry
 from repro.cache.request import MemoryRequest
 from repro.cache.stats import CacheStats
 
+__all__ = [
+    "MissPath",
+]
+
 
 class MissPath:
     """MSHR merge + off-chip forward + fill completion."""

@@ -14,6 +14,10 @@ from typing import Callable, Optional, Tuple
 from repro.cache.stats import CacheStats
 from repro.cache.tag_array import EvictedLine
 
+__all__ = [
+    "WritebackSink",
+]
+
 
 class WritebackSink:
     """Eviction accounting + dirty-writeback emission.

@@ -25,6 +25,11 @@ from typing import List, Tuple
 from repro.cache.request import MemoryRequest
 from repro.cache.stats import CacheStats
 
+__all__ = [
+    "AccessOutcome", "AccessResult", "FillResult", "L1DCacheModel",
+    "RETRY_INTERVAL",
+]
+
 
 #: Cycles the LSU waits before retrying after a RESERVATION_FAIL.  Shared
 #: between the SM model (which schedules the retry) and cache engines

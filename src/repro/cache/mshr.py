@@ -18,6 +18,10 @@ from typing import Dict, List, Optional
 
 from repro.cache.request import MemoryRequest
 
+__all__ = [
+    "MSHR", "MSHREntry",
+]
+
 
 @dataclass(slots=True)
 class MSHREntry:

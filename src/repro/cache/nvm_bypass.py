@@ -25,6 +25,10 @@ from repro.cache.request import BLOCK_SIZE, MemoryRequest
 from repro.cache.tag_array import EvictedLine
 from repro.core.sampler import SamplerTable, SaturatingCounterTable, pc_signature
 
+__all__ = [
+    "ByNVMCache", "DeadWritePredictor",
+]
+
 
 class DeadWritePredictor:
     """PC-indexed dead-write predictor (DASCA-style, simplified).

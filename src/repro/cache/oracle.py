@@ -22,6 +22,10 @@ from repro.cache.interface import (
 from repro.cache.mshr import MSHR
 from repro.cache.request import MemoryRequest
 
+__all__ = [
+    "OracleCache",
+]
+
 
 class OracleCache(L1DCacheModel):
     """Infinite-capacity L1D (cold misses only).

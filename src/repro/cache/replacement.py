@@ -23,6 +23,11 @@ import random
 from heapq import heapify, heappop, heappush
 from typing import Iterable, Optional, Sequence
 
+__all__ = [
+    "FIFOPolicy", "LRUPolicy", "PseudoLRUPolicy", "RandomPolicy",
+    "ReplacementPolicy", "known_policies", "make_replacement_policy",
+]
+
 #: associativity at which stamp-based policies switch from a linear
 #: minimum scan to a lazily-invalidated min-heap for whole-set victim
 #: selection (the 256-way FA-SRAM and 512-way approximated-FA STT banks

@@ -11,6 +11,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+__all__ = [
+    "AccessType", "BLOCK_SHIFT", "BLOCK_SIZE", "MemoryRequest",
+    "block_address",
+]
+
 #: Cache block size in bytes (fixed across the whole memory hierarchy).
 BLOCK_SIZE = 128
 

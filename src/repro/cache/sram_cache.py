@@ -15,6 +15,10 @@ from __future__ import annotations
 from repro.cache.basecache import BaseCache
 from repro.cache.request import BLOCK_SIZE
 
+__all__ = [
+    "make_fa_sram_cache", "make_pure_nvm_cache", "make_sram_cache",
+]
+
 
 def make_sram_cache(
     size_kb: int = 32,

@@ -12,6 +12,10 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+__all__ = [
+    "CacheStats",
+]
+
 
 @dataclass(slots=True)
 class CacheStats:

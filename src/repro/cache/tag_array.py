@@ -22,6 +22,10 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
 
+__all__ = [
+    "CacheLine", "EvictedLine", "TagArray",
+]
+
 
 @dataclass(slots=True)
 class CacheLine:

@@ -1,8 +1,9 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Five commands cover the workflows a downstream user reaches for first:
+Six commands cover the workflows a downstream user reaches for first:
 
-* ``list``    -- show the available L1D configurations and workloads.
+* ``list``    -- show the available L1D configurations and every
+  registered workload (Table II, the DNN suite, user registrations).
 * ``run``     -- simulate one (configuration, workload) pair and print
   the headline metrics.
 * ``compare`` -- run several configurations on one workload and print a
@@ -10,9 +11,14 @@ Five commands cover the workflows a downstream user reaches for first:
 * ``sweep``   -- run a configs x workloads matrix through the parallel
   experiment engine, backed by the persistent result store: the first
   invocation fans out across worker processes, repeats complete from
-  disk with zero fresh simulations.  ``--profile`` pipes the sweep
-  through :mod:`cProfile` (serial, store bypassed) so hot-path
-  regressions are diagnosable from the CLI.
+  disk with zero fresh simulations.  ``--workloads`` accepts workload
+  names, suite names (e.g. ``DNN``), ``trace:<path>`` entries and
+  ``all``.  ``--profile`` pipes the sweep through :mod:`cProfile`
+  (serial, store bypassed) so hot-path regressions are diagnosable from
+  the CLI.
+* ``trace``   -- ``export`` a workload's warp streams to a portable
+  JSONL trace file, ``import`` (replay) one through any configuration,
+  or print ``info`` about a file (see ``docs/trace-format.md``).
 * ``profile`` -- simulate one pair under :mod:`cProfile` and print the
   top entries plus simulated-cycles/sec (the simulator's own speed, not
   the model's).
@@ -39,8 +45,18 @@ from repro.engine import (
 )
 from repro.harness.report import format_table
 from repro.harness.runner import Runner
-from repro.workloads.benchmarks import benchmark_class, benchmark_names
-from repro.workloads.suites import suite_of
+from repro.workloads.benchmarks import (
+    TRACE_PREFIX,
+    benchmark,
+    benchmark_class,
+    workload_names,
+)
+from repro.workloads.registry import REGISTRY, ensure_builtin_workloads
+from repro.workloads.suites import all_suites, suite_of
+
+__all__ = [
+    "main",
+]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,7 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--workloads", default="all",
-        help="comma-separated benchmark names, or 'all' (default)",
+        help="comma-separated workload names, suite names (e.g. DNN), "
+             "trace:<path> entries, or 'all' (default: every registered "
+             "workload)",
     )
     sweep.add_argument(
         "--workers", type=int, default=None,
@@ -113,6 +131,44 @@ def _build_parser() -> argparse.ArgumentParser:
              "so every run is really simulated)",
     )
     _add_machine_args(sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="export, replay (import) or inspect portable trace files",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    export = trace_sub.add_parser(
+        "export",
+        help="materialise a workload's warp streams into a JSONL trace",
+    )
+    export.add_argument("workload", help="workload name (see 'list')")
+    export.add_argument("path", help="output trace file (JSONL)")
+    export.add_argument(
+        "--seed", type=int, default=0, help="trace seed (default 0)",
+    )
+    _add_machine_args(export)
+
+    imp = trace_sub.add_parser(
+        "import",
+        help="replay an exported trace through one L1D configuration",
+    )
+    imp.add_argument("path", help="trace file written by 'trace export'")
+    imp.add_argument(
+        "--config", default="Dy-FUSE",
+        help="L1D configuration to replay under (default Dy-FUSE)",
+    )
+    imp.add_argument(
+        "--gpu", default=None, choices=("fermi", "volta"),
+        help="machine profile (default: the trace header's, falling "
+             "back to fermi); the machine *shape* always comes from "
+             "the header",
+    )
+
+    info = trace_sub.add_parser(
+        "info", help="print a trace file's header and stream totals"
+    )
+    info.add_argument("path", help="trace file")
 
     profile = sub.add_parser(
         "profile",
@@ -156,21 +212,20 @@ def _cmd_list() -> int:
         title="L1D configurations (Table I)",
     ))
     print()
+    names = workload_names()
     workload_rows = [
         [name, suite_of(name), benchmark_class(name).apki_paper,
          benchmark_class(name).description]
-        for name in benchmark_names()
+        for name in names
     ]
     print(format_table(
         ["workload", "suite", "APKI", "description"], workload_rows,
-        title="Workloads (Table II)",
+        title=f"Registered workloads ({len(names)}: Table II + DNN suite)",
     ))
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    runner = Runner(gpu_profile=args.gpu, scale=args.scale, num_sms=args.sms)
-    result = runner.run(args.config, args.workload)
+def _print_result(result, title: str) -> None:
     stats = result.l1d
     rows = [
         ["cycles", result.cycles],
@@ -184,11 +239,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["L1D energy (uJ)", result.energy.l1d_nj / 1000.0],
         ["total energy (uJ)", result.energy.total_nj / 1000.0],
     ]
-    print(format_table(
-        ["metric", "value"], rows,
-        title=f"{args.config} on {args.workload} "
-              f"({args.gpu}, {args.sms} SMs, {args.scale} scale)",
-    ))
+    print(format_table(["metric", "value"], rows, title=title))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = Runner(gpu_profile=args.gpu, scale=args.scale, num_sms=args.sms)
+    result = runner.run(args.config, args.workload)
+    _print_result(
+        result,
+        f"{args.config} on {args.workload} "
+        f"({args.gpu}, {args.sms} SMs, {args.scale} scale)",
+    )
     return 0
 
 
@@ -210,6 +271,80 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         rows,
         title=f"Configuration comparison on {args.workload}",
     ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.engine.spec import RunSpec, execute_spec, scale_preset
+    from repro.workloads.tracefile import (
+        export_trace,
+        load_trace,
+        trace_sha256,
+    )
+
+    if args.trace_command == "export":
+        scale = scale_preset(args.scale)
+        model = benchmark(
+            args.workload, num_sms=args.sms,
+            warps_per_sm=scale.warps_per_sm, scale=scale, seed=args.seed,
+        )
+        summary = export_trace(
+            model, args.path, scale=args.scale, gpu_profile=args.gpu
+        )
+        meta = summary.meta
+        print(
+            f"exported {meta.workload} -> {args.path}: "
+            f"{meta.num_sms} SMs x {meta.warps_per_sm} warps, "
+            f"{summary.instructions:,} warp instructions, "
+            f"{summary.transactions:,} transactions, "
+            f"sha256 {summary.sha256[:16]}"
+        )
+        return 0
+
+    if args.trace_command == "info":
+        trace = load_trace(args.path)
+        meta = trace.meta
+        rows = [
+            ["workload", meta.workload],
+            ["machine shape", f"{meta.num_sms} SMs x "
+                              f"{meta.warps_per_sm} warps"],
+            ["scale preset", meta.scale or "(custom)"],
+            ["gpu profile", meta.gpu_profile or "(unrecorded)"],
+            ["seed", meta.seed],
+            ["trace salt", meta.trace_salt],
+            ["warp streams", len(trace.streams)],
+            ["warp instructions", trace.total_instructions],
+            ["memory transactions", trace.total_transactions],
+            ["content sha256", trace_sha256(args.path)],
+        ]
+        print(format_table(["field", "value"], rows, title=args.path))
+        return 0
+
+    # import: replay the trace under one configuration.  RunSpec.build
+    # pins the machine shape and scale label from the header itself; a
+    # gpu profile a converter invented ("pascal") falls back to fermi
+    # instead of failing name resolution.
+    from repro.engine.spec import GPU_PROFILES
+
+    trace = load_trace(args.path)
+    meta = trace.meta
+    gpu_name = args.gpu or meta.gpu_profile
+    if gpu_name not in GPU_PROFILES:
+        gpu_name = "fermi"
+    spec = RunSpec.build(
+        args.config,
+        f"{TRACE_PREFIX}{args.path}",
+        gpu_profile=gpu_name,
+        seed=meta.seed,
+        trace_salt=meta.trace_salt,
+    )
+    result = execute_spec(spec)
+    _print_result(
+        result,
+        f"{args.config} replaying {meta.workload} trace "
+        f"({meta.num_sms} SMs x {meta.warps_per_sm} warps, {gpu_name})",
+    )
+    print(f"run key: {spec.key().digest}")
     return 0
 
 
@@ -256,12 +391,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workloads(raw: str) -> List[str]:
+    """Expand a ``--workloads`` value into concrete workload names.
+
+    ``all`` means every registered workload; tokens naming a suite
+    (``DNN``, ``PolyBench``, ...) expand to the suite's members; an
+    exact workload name wins over a same-named suite; ``trace:<path>``
+    entries pass through for trace replay.
+    """
+    if raw.strip().lower() == "all":
+        return workload_names()
+    ensure_builtin_workloads()
+    suites = all_suites()
+    out: List[str] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.startswith(TRACE_PREFIX) or token in REGISTRY:
+            out.append(token)
+        elif token in suites:
+            out.extend(suites[token])
+        else:
+            out.append(token)  # unknown: surfaces as a per-run error
+    # overlapping tokens (a suite plus one of its members) collapse to
+    # one entry so runs are neither re-submitted nor double-reported
+    return list(dict.fromkeys(out))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = [c.strip() for c in args.configs.split(",") if c.strip()]
-    if args.workloads.strip().lower() == "all":
-        workloads = benchmark_names()
-    else:
-        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    workloads = _resolve_workloads(args.workloads)
     for config in configs:
         l1d_config(config)  # fail fast on unknown names
 
@@ -367,6 +527,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
     except ValueError as error:

@@ -35,6 +35,10 @@ import numpy as np
 
 from repro.core.bloom import NVMCBFTimingModel, _mix64
 
+__all__ = [
+    "ApproximateAssociativeArray", "SearchResult",
+]
+
 #: stride separating the hash streams of adjacent groups
 _GROUP_SALT = 0x9E3779B97F4A7C15
 

@@ -29,6 +29,10 @@ from typing import Optional
 
 from repro.core.read_level_predictor import ReadLevel, ReadLevelPredictor
 
+__all__ = [
+    "Arbiter", "ArbiterDecision", "Destination",
+]
+
 
 class Destination(enum.Enum):
     """Where the arbitrated data block should live next."""

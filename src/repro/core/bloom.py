@@ -24,6 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+__all__ = [
+    "CountingBloomFilter", "NVMCBFTimingModel",
+]
+
 
 def _mix64(value: int) -> int:
     """A 64-bit finalizer-style mixer (splitmix64 constants)."""

@@ -34,6 +34,12 @@ from repro.cache.sram_cache import (
 )
 from repro.core.fuse_cache import FuseCache, FuseFeatures
 
+__all__ = [
+    "AREA_BUDGET_SRAM_KB", "L1DConfig", "STT_DENSITY_FACTOR",
+    "config_for_budget", "known_configs", "l1d_config", "make_l1d",
+    "ratio_config",
+]
+
 #: Area budget every configuration must fit: a 32 KB SRAM array.
 AREA_BUDGET_SRAM_KB = 32
 

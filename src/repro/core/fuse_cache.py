@@ -63,6 +63,10 @@ from repro.core.read_level_predictor import ReadLevel, ReadLevelPredictor
 from repro.core.swap_buffer import SwapBuffer
 from repro.core.tag_queue import TagQueue
 
+__all__ = [
+    "FuseCache", "FuseFeatures",
+]
+
 
 @dataclass(frozen=True, slots=True)
 class FuseFeatures:

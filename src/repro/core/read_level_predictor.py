@@ -40,6 +40,10 @@ from repro.core.sampler import (
     pc_signature,
 )
 
+__all__ = [
+    "ReadLevel", "ReadLevelPredictor",
+]
+
 
 class ReadLevel(enum.Enum):
     """Predicted read level of a memory reference."""

@@ -24,6 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+__all__ = [
+    "DEFAULT_SIGNATURE_BITS", "DEFAULT_TAG_BITS", "SamplerObservation",
+    "SamplerTable", "SaturatingCounterTable", "pc_signature",
+]
+
 
 #: Partial address bits stored in a sampler entry tag (paper: 15).
 DEFAULT_TAG_BITS = 15

@@ -20,6 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+__all__ = [
+    "SwapBuffer", "SwapBufferStats",
+]
+
 
 @dataclass(slots=True)
 class SwapBufferStats:

@@ -26,6 +26,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Tuple
 
+__all__ = [
+    "TagQueue", "TagQueueStats",
+]
+
 
 @dataclass(slots=True)
 class TagQueueStats:

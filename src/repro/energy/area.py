@@ -25,6 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+__all__ = [
+    "AreaReport", "COMPARATOR_OVERHEAD", "COMPARATOR_PER_BIT",
+    "DECODER_PER_WORDLINE", "DECODER_PREDECODE", "SENSE_AMP_PER_BIT",
+    "SRAM_PER_BIT", "STT_PER_BIT", "WRITE_DRIVER_PER_BIT", "comparators",
+    "decoder", "dy_fuse_area", "l1_sram_area", "sense_amplifiers",
+    "sram_array", "stt_array", "write_drivers",
+]
+
 #: devices per bit
 SRAM_PER_BIT = 6
 STT_PER_BIT = 1.5  # 1T + 1 MTJ (MTJ counted as half a device)

@@ -26,6 +26,11 @@ from typing import Optional
 
 from repro.gpu.stats import SimulationResult
 
+__all__ = [
+    "EnergyConstants", "EnergyReport", "L1DEnergyParams", "compute_energy",
+    "l1d_energy_params",
+]
+
 
 @dataclass(frozen=True)
 class L1DEnergyParams:

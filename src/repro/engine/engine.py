@@ -34,6 +34,11 @@ from repro.engine.spec import RunSpec, execute_spec
 from repro.engine.store import ResultStore
 from repro.gpu.stats import SimulationResult
 
+__all__ = [
+    "ExperimentEngine", "ProgressCallback", "ProgressEvent", "RunOutcome",
+    "WORKERS_ENV", "default_workers", "stderr_progress",
+]
+
 #: environment knob for the default worker-pool width
 WORKERS_ENV = "REPRO_WORKERS"
 

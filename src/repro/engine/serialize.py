@@ -25,6 +25,11 @@ from repro.core.fuse_cache import FuseFeatures
 from repro.energy.model import EnergyReport
 from repro.gpu.stats import LatencyBreakdown, MemorySystemStats, SimulationResult
 
+__all__ = [
+    "SCHEMA_VERSION", "config_from_dict", "config_to_dict",
+    "result_from_dict", "result_to_dict",
+]
+
 #: Store/record schema version (see module docstring).
 SCHEMA_VERSION = 1
 

@@ -27,8 +27,13 @@ from repro.engine.serialize import config_to_dict
 from repro.gpu.config import GPUConfig, fermi_like, volta_like
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.stats import SimulationResult
-from repro.workloads.benchmarks import benchmark
+from repro.workloads.benchmarks import TRACE_PREFIX, benchmark
 from repro.workloads.trace import TraceScale
+
+__all__ = [
+    "GPU_PROFILES", "RunKey", "RunSpec", "SCALE_PRESETS", "execute_spec",
+    "gpu_profile", "scale_preset", "spec_to_dict",
+]
 
 #: named machine profiles a spec may reference
 GPU_PROFILES = {
@@ -77,6 +82,13 @@ class RunSpec:
     time: carrying it in the spec (rather than reading the global at
     execution time) keeps worker processes faithful to the submitting
     process even under spawn-style pools that re-import the modules.
+
+    ``trace_sha256`` is the content hash of the trace file for
+    ``trace:<path>`` workloads (``None`` for generated workloads).  It
+    is part of the run identity: the same path holding different trace
+    bytes must never satisfy each other from the result store, and
+    :func:`execute_spec` refuses to run against a file that changed
+    after the spec was built.
     """
 
     l1d: L1DConfig
@@ -86,6 +98,7 @@ class RunSpec:
     seed: int = 0
     num_sms: int = 15
     trace_salt: int = 0
+    trace_sha256: Optional[str] = None
 
     @classmethod
     def build(
@@ -101,7 +114,14 @@ class RunSpec:
         """Resolve a named or custom L1D config into a spec.
 
         ``num_sms=None`` takes the GPU profile's own SM count;
-        ``trace_salt=None`` snapshots the current global salt.
+        ``trace_salt=None`` snapshots the current global salt.  For
+        ``trace:<path>`` workloads the trace file is hashed here, so
+        the spec (and its :class:`RunKey`) pins the file's content --
+        and because replay consults only the file (never the seed,
+        salt or shape flags), ``num_sms``/``scale``/``seed``/
+        ``trace_salt`` are all normalised from the header: two replays
+        of the same trace share one store key no matter what flags
+        their callers passed.
         """
         from repro.workloads.kernels import KernelModel
 
@@ -112,9 +132,23 @@ class RunSpec:
             num_sms = GPU_PROFILES[gpu_profile]().num_sms
         if trace_salt is None:
             trace_salt = KernelModel.TRACE_SALT
+        trace_hash = None
+        if workload.startswith(TRACE_PREFIX):
+            from repro.workloads.tracefile import load_trace, trace_sha256
+
+            path = workload[len(TRACE_PREFIX):]
+            trace_hash = trace_sha256(path)
+            meta = load_trace(path).meta
+            num_sms = meta.num_sms
+            scale = (
+                meta.scale if meta.scale in SCALE_PRESETS else "test"
+            )
+            seed = meta.seed
+            trace_salt = meta.trace_salt
         return cls(
             l1d=cfg, workload=workload, gpu_profile=gpu_profile,
             scale=scale, seed=seed, num_sms=num_sms, trace_salt=trace_salt,
+            trace_sha256=trace_hash,
         )
 
     def key(self) -> "RunKey":
@@ -149,11 +183,13 @@ def spec_to_dict(spec: RunSpec) -> Dict:
 
     The trace salt is part of run identity: it changes every generated
     trace, so results computed under different salts must never satisfy
-    each other from the store.
+    each other from the store.  The trace-file content hash is included
+    only when present, so the identities (and store keys) of all
+    generated-workload runs are unchanged from before trace support.
     """
     l1d = config_to_dict(spec.l1d)
     l1d.pop("description", None)  # cosmetic, not part of run identity
-    return {
+    payload = {
         "l1d": l1d,
         "workload": spec.workload,
         "gpu_profile": spec.gpu_profile,
@@ -162,6 +198,9 @@ def spec_to_dict(spec: RunSpec) -> Dict:
         "num_sms": spec.num_sms,
         "trace_salt": spec.trace_salt,
     }
+    if spec.trace_sha256 is not None:
+        payload["trace_sha256"] = spec.trace_sha256
+    return payload
 
 
 def execute_spec(spec: RunSpec) -> SimulationResult:
@@ -173,6 +212,17 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     """
     from repro.workloads.kernels import KernelModel
 
+    if spec.workload.startswith(TRACE_PREFIX) and spec.trace_sha256:
+        from repro.workloads.tracefile import trace_sha256
+
+        current = trace_sha256(spec.workload[len(TRACE_PREFIX):])
+        if current != spec.trace_sha256:
+            raise ValueError(
+                f"trace file {spec.workload[len(TRACE_PREFIX):]} changed "
+                "since this spec was built (content hash "
+                f"{current[:12]} != spec's {spec.trace_sha256[:12]}); "
+                "rebuild the spec to run against the new trace"
+            )
     machine = gpu_profile(spec.gpu_profile).with_overrides(
         num_sms=spec.num_sms
     )
@@ -191,11 +241,17 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
             scale=scale,
             seed=spec.seed,
         )
+        # the model is authoritative for the machine shape: generated
+        # workloads echo the spec's values back, while trace replays
+        # carry their header's shape (which the spec's preset-named
+        # scale cannot express for external traces)
+        if model.num_sms != machine.num_sms:
+            machine = machine.with_overrides(num_sms=model.num_sms)
         simulator = GPUSimulator(
             machine,
             l1d_factory=lambda: make_l1d(spec.l1d),
             warp_streams=model.streams(),
-            warps_per_sm=scale.warps_per_sm,
+            warps_per_sm=model.warps_per_sm,
         )
         result = simulator.run(
             workload_name=spec.workload, config_name=spec.l1d.name

@@ -38,6 +38,10 @@ from repro.engine.serialize import (
 from repro.engine.spec import RunKey, RunSpec, spec_to_dict
 from repro.gpu.stats import SimulationResult
 
+__all__ = [
+    "DEFAULT_STORE_DIR", "ResultStore", "default_store_path",
+]
+
 #: default on-disk location (under the user cache directory)
 DEFAULT_STORE_DIR = "~/.cache/repro"
 

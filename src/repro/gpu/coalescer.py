@@ -14,6 +14,10 @@ from typing import Iterable, List, Sequence
 
 from repro.cache.request import BLOCK_SHIFT
 
+__all__ = [
+    "coalesce", "coalesce_count", "warp_addresses",
+]
+
 
 def coalesce(addresses: Iterable[int]) -> List[int]:
     """Merge per-thread byte addresses into unique block addresses.

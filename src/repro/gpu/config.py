@@ -9,6 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+__all__ = [
+    "GPUConfig", "fermi_like", "volta_like",
+]
+
 
 @dataclass(frozen=True)
 class GPUConfig:

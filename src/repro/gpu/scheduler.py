@@ -19,6 +19,10 @@ from typing import Optional, Sequence
 
 from repro.gpu.warp import Warp
 
+__all__ = [
+    "GTOScheduler", "LRRScheduler", "WarpScheduler", "make_scheduler",
+]
+
 
 class WarpScheduler(abc.ABC):
     """Chooses which ready warp issues next."""

@@ -47,6 +47,10 @@ from repro.gpu.warp import Warp
 from repro.memory.subsystem import MemorySubsystem
 from repro.workloads.trace import WarpInstruction
 
+__all__ = [
+    "GPUSimulator",
+]
+
 #: typed event-wheel tags (fixed-shape entries, direct dispatch)
 _EV_FILL = 0      # (cycle, seq, _EV_FILL, sm, block_addr, None, 0)
 _EV_RETRY = 1     # (cycle, seq, _EV_RETRY, sm, request, waiting_warp, attempts)

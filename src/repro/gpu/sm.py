@@ -39,6 +39,10 @@ from repro.gpu.scheduler import WarpScheduler
 from repro.gpu.warp import Warp
 from repro.workloads.trace import COMPUTE, LOAD, WarpInstruction
 
+__all__ = [
+    "MAX_RETRIES", "SM",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.gpu.simulator import GPUSimulator
 

@@ -13,6 +13,11 @@ from typing import Dict, Optional
 
 from repro.cache.stats import CacheStats
 
+__all__ = [
+    "LatencyBreakdown", "MemorySystemStats", "SimulationResult",
+    "merge_cache_stats", "stats_fields",
+]
+
 
 @dataclass(slots=True)
 class LatencyBreakdown:

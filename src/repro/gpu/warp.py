@@ -16,6 +16,10 @@ from typing import Iterator, Optional
 
 from repro.workloads.trace import WarpInstruction
 
+__all__ = [
+    "Warp",
+]
+
 
 class Warp:
     """One warp's execution state within an SM."""

@@ -24,6 +24,14 @@ from repro.workloads.analysis import read_level_analysis
 from repro.workloads.benchmarks import benchmark, benchmark_class, benchmark_names
 from repro.workloads.suites import SUITES
 
+__all__ = [
+    "ALL_WORKLOADS", "FIG18_WORKLOADS", "FIG3_WORKLOADS", "MAIN_CONFIGS",
+    "dnn_sweep", "fig13_ipc", "fig14_miss_rate", "fig15_stalls",
+    "fig16_predictor", "fig17_energy", "fig18_ratio_sweep", "fig19_volta",
+    "fig1_motivation", "fig3_oracle", "fig6_read_level",
+    "fig7_approx_vs_full", "table2_apki",
+]
+
 #: the x-axis of Figures 13/14/16/17
 ALL_WORKLOADS: List[str] = benchmark_names()
 
@@ -309,6 +317,48 @@ def fig19_volta(runner: Runner, workloads: Optional[List[str]] = None):
                 base = result.ipc or 1.0
             row[config] = result.ipc / base
         rows.append(row)
+    return rows
+
+
+# ======================================================================
+def dnn_sweep(
+    runner: Runner,
+    configs: Optional[List[str]] = None,
+    workloads: Optional[List[str]] = None,
+):
+    """DNN-suite sweep: the config ladder on the deep-learning workload
+    family (no paper counterpart -- FUSE never evaluated tensor
+    traffic; DeepNVM++ and Roy et al. motivate the scenario).
+
+    Returns one row per DNN workload with per-config IPC normalized to
+    the first config, plus miss rate and bypass ratio for the last
+    config (the interesting FUSE datapoint), and a GMEANS row.
+    """
+    from repro.workloads.dnn import DNN_SUITE
+
+    configs = list(configs or ["L1-SRAM", "By-NVM", "Hybrid", "Dy-FUSE"])
+    names = list(workloads or DNN_SUITE)
+    runner.prefetch([(config, name) for name in names for config in configs])
+    rows = []
+    norms: Dict[str, List[float]] = {c: [] for c in configs}
+    for name in names:
+        row = {"workload": name}
+        base = None
+        for config in configs:
+            result = runner.run(config, name)
+            if base is None:
+                base = result.ipc or 1.0
+            norm = result.ipc / base
+            row[config] = norm
+            norms[config].append(norm)
+        # `result` is configs[-1]'s: the interesting FUSE datapoint
+        row["miss_rate"] = result.l1d_miss_rate
+        row["bypass"] = result.l1d.bypass_ratio
+        rows.append(row)
+    gmean_row = {"workload": "GMEANS", "miss_rate": "", "bypass": ""}
+    for config in configs:
+        gmean_row[config] = gmean(norms[config])
+    rows.append(gmean_row)
     return rows
 
 

@@ -5,6 +5,10 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Sequence
 
+__all__ = [
+    "format_table", "gmean", "normalise",
+]
+
 
 def gmean(values: Iterable[float]) -> float:
     """Geometric mean (the paper's GMEANS bars).

@@ -39,6 +39,10 @@ from repro.engine.store import ResultStore
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import SimulationResult
 
+__all__ = [
+    "RunRequest", "Runner", "default_runner",
+]
+
 #: a prefetch item: (named-or-custom config, workload[, seed])
 RunRequest = Union[
     Tuple[Union[str, L1DConfig], str],

@@ -23,6 +23,10 @@ from typing import List, Tuple
 
 from repro.gpu.config import GPUConfig
 
+__all__ = [
+    "DRAMChannel",
+]
+
 
 @dataclass(slots=True)
 class _BankState:

@@ -19,6 +19,10 @@ from typing import List, Tuple
 from repro.cache.request import BLOCK_SIZE
 from repro.gpu.config import GPUConfig
 
+__all__ = [
+    "Interconnect",
+]
+
 
 class Interconnect:
     """Request/response network between SMs and L2 banks."""

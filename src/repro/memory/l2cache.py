@@ -20,6 +20,10 @@ from typing import Tuple
 from repro.cache.tag_array import TagArray
 from repro.gpu.config import GPUConfig
 
+__all__ = [
+    "L2Bank",
+]
+
 
 class L2Bank:
     """One shared L2 bank (write-back, write-allocate, LRU)."""

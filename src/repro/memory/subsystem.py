@@ -28,6 +28,10 @@ from repro.memory.dram import DRAMChannel
 from repro.memory.interconnect import Interconnect
 from repro.memory.l2cache import L2Bank
 
+__all__ = [
+    "MemorySubsystem",
+]
+
 
 class MemorySubsystem:
     """Interconnect + shared L2 + GDDR5 DRAM."""

@@ -1,4 +1,4 @@
-"""Synthetic workload models for the 21 benchmarks of Table II.
+"""Workload platform: kernel models, the registry, and portable traces.
 
 The original evaluation runs CUDA binaries from PolyBench, Rodinia,
 Parboil and Mars under GPGPU-Sim.  Those binaries (and a GPU) are not
@@ -8,6 +8,18 @@ loop structure.  Generator parameters are tuned so the measured APKI
 tracks Table II and the emergent read-level mix tracks Figure 6; the
 `bench_table2_apki` and `bench_fig06_read_level` benchmarks print the
 comparison.
+
+Beyond the paper's 21 workloads the package is an *open platform*:
+
+* :mod:`repro.workloads.registry` -- register custom kernel models by
+  name (decorator or programmatic); every name-resolving API goes
+  through it.
+* :mod:`repro.workloads.dnn` -- a fifth suite of DNN-layer kernels
+  (im2col conv, GEMM tiles, attention gathers) with configurable
+  tensor shapes.
+* :mod:`repro.workloads.tracefile` -- schema-versioned JSONL trace
+  export/import; an imported trace replays bit-identically through the
+  unmodified GPU/cache stack (``repro trace export/import``).
 """
 
 from repro.workloads.analysis import (
@@ -16,12 +28,19 @@ from repro.workloads.analysis import (
     read_level_analysis,
 )
 from repro.workloads.benchmarks import (
+    TRACE_PREFIX,
     all_benchmarks,
     benchmark,
     benchmark_names,
+    workload_names,
 )
 from repro.workloads.kernels import KernelModel
-from repro.workloads.suites import SUITES, suite_of
+from repro.workloads.registry import (
+    REGISTRY,
+    WorkloadRegistry,
+    register_workload,
+)
+from repro.workloads.suites import SUITES, all_suites, suite_of
 from repro.workloads.trace import (
     COMPUTE,
     LOAD,
@@ -32,23 +51,43 @@ from repro.workloads.trace import (
     load_instruction,
     store_instruction,
 )
+from repro.workloads.tracefile import (
+    TraceReplayKernel,
+    WorkloadTrace,
+    export_trace,
+    load_trace,
+    replay_kernel,
+    trace_sha256,
+)
 
 __all__ = [
     "COMPUTE",
     "KernelModel",
     "LOAD",
+    "REGISTRY",
     "ReadLevelBreakdown",
     "STORE",
     "SUITES",
+    "TRACE_PREFIX",
+    "TraceReplayKernel",
     "TraceScale",
     "WarpInstruction",
+    "WorkloadRegistry",
+    "WorkloadTrace",
     "all_benchmarks",
+    "all_suites",
     "benchmark",
     "benchmark_names",
     "classify_block",
     "compute_block",
+    "export_trace",
     "load_instruction",
+    "load_trace",
     "read_level_analysis",
+    "register_workload",
+    "replay_kernel",
     "store_instruction",
     "suite_of",
+    "trace_sha256",
+    "workload_names",
 ]

@@ -30,6 +30,11 @@ from typing import Dict
 from repro.workloads.kernels import KernelModel
 from repro.workloads.trace import LOAD, STORE
 
+__all__ = [
+    "CATEGORIES", "ReadLevelBreakdown", "classify_block",
+    "read_level_analysis",
+]
+
 #: category keys in the Figure 6 legend order
 CATEGORIES = ("WM", "read-intensive", "WORM", "WORO")
 

@@ -1,12 +1,21 @@
-"""Benchmark registry: the 21 workloads of Table II.
+"""Benchmark factory: name-based access to registered kernel models.
 
-``benchmark(name, ...)`` instantiates a kernel model; ``all_benchmarks``
-iterates the registry in the paper's figure order.
+The 21 Table II workloads register themselves into the default
+:data:`~repro.workloads.registry.REGISTRY` when this module is imported;
+the factory functions below resolve *any* registered workload (built-in,
+DNN-suite, or user-registered -- see ``docs/workload-authoring.md``),
+plus exported trace files via the ``trace:<path>`` pseudo-name
+(see ``docs/trace-format.md``).
+
+``benchmark_names()`` intentionally keeps its historical meaning -- the
+21 Table II names in the paper's figure order -- because it is the
+x-axis of every reproduced figure.  ``workload_names()`` is the full
+registry view.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Type
+from typing import Iterator, List, Optional, Type
 
 from repro.workloads.kernels import KernelModel
 from repro.workloads.mars import (
@@ -29,59 +38,94 @@ from repro.workloads.polybench import (
     TwoDConv,
     TwoMM,
 )
+from repro.workloads.registry import REGISTRY, ensure_builtin_workloads
 from repro.workloads.rodinia import CFD, Gaussian, Pathfinder, SradV1
 from repro.workloads.trace import TraceScale
 
-#: registry in the order Figures 13/14/16/17 plot their x-axes
-_REGISTRY: Dict[str, Type[KernelModel]] = {
-    cls.name: cls
-    for cls in (
-        TwoDConv, TwoMM, ThreeMM, ATAX, BICG, CFD, FDTD2D, Gaussian,
-        GEMM, GESUMMV, InvertedIndex, MVT, PageViewCount, PageViewRank,
-        Pathfinder, SimilarityScore, SradV1, StringMatch, SYR2K,
-        MriG, Histo,
-    )
-}
+__all__ = [
+    "TABLE2_MODELS",
+    "TRACE_PREFIX",
+    "all_benchmarks",
+    "benchmark",
+    "benchmark_class",
+    "benchmark_names",
+    "workload_names",
+]
+
+#: pseudo-name prefix that resolves to a trace-file replay kernel
+TRACE_PREFIX = "trace:"
+
+#: the Table II models in the order Figures 13/14/16/17 plot their x-axes
+TABLE2_MODELS = (
+    TwoDConv, TwoMM, ThreeMM, ATAX, BICG, CFD, FDTD2D, Gaussian,
+    GEMM, GESUMMV, InvertedIndex, MVT, PageViewCount, PageViewRank,
+    Pathfinder, SimilarityScore, SradV1, StringMatch, SYR2K,
+    MriG, Histo,
+)
+
+for _model in TABLE2_MODELS:
+    REGISTRY.add(_model)  # re-imports are tolerated (same definition)
 
 
 def benchmark_names() -> List[str]:
-    """All benchmark names in figure order."""
-    return list(_REGISTRY)
+    """The 21 Table II benchmark names, in figure order."""
+    return [model.name for model in TABLE2_MODELS]
+
+
+def workload_names() -> List[str]:
+    """Every registered workload name (Table II figure order first,
+    then the DNN suite and anything user-registered)."""
+    ensure_builtin_workloads()
+    return REGISTRY.names()
 
 
 def benchmark(
     name: str,
     num_sms: int,
     warps_per_sm: int,
-    scale: TraceScale | None = None,
+    scale: Optional[TraceScale] = None,
     seed: int = 0,
 ) -> KernelModel:
-    """Instantiate one benchmark's kernel model.
+    """Instantiate one workload's kernel model by name.
+
+    ``trace:<path>`` names resolve to a
+    :class:`~repro.workloads.tracefile.TraceReplayKernel` replaying the
+    exported trace file at *path* (the machine shape must match the
+    trace header).
 
     Raises:
-        ValueError: for unknown benchmark names.
+        ValueError: for unknown names or a trace shape mismatch.
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(benchmark_names())
-        raise ValueError(f"unknown benchmark {name!r}; known: {known}")
-    return cls(num_sms=num_sms, warps_per_sm=warps_per_sm, scale=scale, seed=seed)
+    if name.startswith(TRACE_PREFIX):
+        from repro.workloads.tracefile import replay_kernel
+
+        return replay_kernel(
+            name[len(TRACE_PREFIX):], num_sms=num_sms,
+            warps_per_sm=warps_per_sm, scale=scale, seed=seed,
+        )
+    ensure_builtin_workloads()
+    return REGISTRY.create(
+        name, num_sms=num_sms, warps_per_sm=warps_per_sm, scale=scale,
+        seed=seed,
+    )
 
 
 def all_benchmarks(
     num_sms: int,
     warps_per_sm: int,
-    scale: TraceScale | None = None,
+    scale: Optional[TraceScale] = None,
 ) -> Iterator[KernelModel]:
-    """Instantiate every benchmark (figure order)."""
+    """Instantiate every Table II benchmark (figure order)."""
     for name in benchmark_names():
         yield benchmark(name, num_sms, warps_per_sm, scale)
 
 
 def benchmark_class(name: str) -> Type[KernelModel]:
-    """The model class itself (metadata access without instantiation)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise ValueError(f"unknown benchmark {name!r}")
+    """The registered model class itself (metadata access without
+    instantiation).
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    ensure_builtin_workloads()
+    return REGISTRY.get(name)

@@ -1,0 +1,230 @@
+"""DNN-layer kernel models: the workload family FUSE never evaluated.
+
+DeepNVM++ (Inci et al.) and Roy et al.'s STT-MRAM-scratchpad study both
+measure STT-MRAM under deep-learning tensor traffic; this module brings
+that scenario axis to the FUSE reproduction as a fifth suite (``DNN``)
+of three archetypal layer kernels:
+
+* :class:`Conv2DIm2col` -- im2col-lowered convolution: streaming input
+  rows with stencil halo reuse, a small *hot* weight tile re-read every
+  output element (read-intensive blocks), write-once outputs.
+* :class:`GEMMTiles` -- register-tiled GEMM: an A tile set re-walked
+  every k step, a streaming read-once B panel, and a C accumulator that
+  is read-modify-written (the WM blocks SRAM must absorb).
+* :class:`AttentionGather` -- attention-score traffic: coalesced query
+  rows against per-lane gathers into a KV cache with a skewed
+  recent-token hot set, plus a running-softmax accumulator RMW.
+
+Tensor shapes and reuse distances are class attributes, so differently
+shaped layers are one :meth:`~repro.workloads.kernels.KernelModel.
+variant` call away (see ``examples/dnn_workload.py``).  ``apki_paper`` /
+``bypass_paper`` carry this module's calibration targets (there is no
+Table II row to cite for these workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.patterns import (
+    WARP_BYTES,
+    coalesced_load,
+    coalesced_store,
+    interleave,
+    load_instruction,
+    region,
+)
+from repro.workloads.registry import register_workload
+from repro.workloads.trace import WarpInstruction
+
+__all__ = ["AttentionGather", "Conv2DIm2col", "DNN_SUITE", "GEMMTiles"]
+
+
+class _DNNKernel(KernelModel):
+    suite = "DNN"
+
+
+@register_workload
+class Conv2DIm2col(_DNNKernel):
+    """im2col convolution: streaming activations against hot weights.
+
+    Each warp owns a band of output rows.  Per output tile it reads
+    ``filter_rows`` input rows (adjacent rows go to warps of the same
+    SM, so the stencil halo re-reads hit the private L1D), one block of
+    the filter tile (a region of only ``weight_blocks`` blocks, cycled
+    -- the reuse distance knob), and stores the output element once
+    (a dead write: im2col outputs feed the *next* layer, not this one).
+    """
+
+    name = "conv2d"
+    apki_paper = 24.0
+    bypass_paper = 0.4
+    description = "im2col conv: streamed activations, hot weight tile"
+
+    #: filter height in rows read per output tile (K_h of a KxK filter)
+    filter_rows = 3
+    #: activation row width in elements (input feature map W * C_in)
+    row_elements = 2048
+    #: filter-tile footprint in 128-byte blocks -- the weight reuse
+    #: distance (C_in * K * K * 4B / 128B for one output channel group)
+    weight_blocks = 16
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        row_bytes = self.scaled(self.row_elements) * 4
+        activations = region(0, 1 << 24)
+        weights = region(1, max(WARP_BYTES, self.weight_blocks * WARP_BYTES))
+        outputs = region(2, 1 << 23)
+        tiles_per_row = max(1, row_bytes // WARP_BYTES)
+        # per tile: filter_rows input loads + weight load + output store
+        iters = self.iterations_for(self.filter_rows + 2)
+        rows_per_warp = max(1, -(-iters // tiles_per_row))
+        row0 = self.global_warp(sm_id, warp_id) * rows_per_warp
+
+        def memory():
+            emitted = 0
+            for r in range(rows_per_warp):
+                row = row0 + r
+                for tile in range(tiles_per_row):
+                    off = row * row_bytes + tile * WARP_BYTES
+                    for k in range(self.filter_rows):
+                        yield coalesced_load(
+                            0x1000 + 8 * k, activations,
+                            off + (k - 1) * row_bytes,
+                        )
+                    yield coalesced_load(
+                        0x1040, weights, (emitted % self.weight_blocks)
+                        * WARP_BYTES,
+                    )
+                    yield coalesced_store(0x1048, outputs, off)
+                    emitted += 1
+                    if emitted >= iters:
+                        return
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+@register_workload
+class GEMMTiles(_DNNKernel):
+    """Register-tiled GEMM (fully-connected / projection layers).
+
+    The k loop re-walks the warp's A tile set (``a_tile_blocks`` blocks
+    -- the A reuse distance), streams the B panel read-once, and
+    read-modify-writes the C accumulator block every
+    ``accum_period`` steps: the WM traffic that separates this from
+    PolyBench's store-once ``2MM``/``3MM`` chained matmuls.
+    """
+
+    name = "gemm-tile"
+    apki_paper = 40.0
+    bypass_paper = 0.55
+    description = "register-tiled GEMM, accumulator RMW"
+
+    #: blocks in the warp's reused A tile (A reuse distance)
+    a_tile_blocks = 8
+    #: k steps between C accumulator spills (larger = more register
+    #: blocking, fewer WM accesses)
+    accum_period = 4
+    #: B panel row pitch in elements
+    panel_elements = 1024
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        panel_bytes = self.scaled(self.panel_elements) * 4
+        mat_a = region(0, 1 << 24)
+        mat_b = region(1, 1 << 24)
+        mat_c = region(2, 1 << 22)
+        gwarp = self.global_warp(sm_id, warp_id)
+        # per k step: A load + B load + amortised C RMW
+        iters = self.iterations_for(2.0 + 2.0 / self.accum_period)
+
+        def memory():
+            a_base = gwarp * self.a_tile_blocks * WARP_BYTES
+            c_off = gwarp * WARP_BYTES
+            for k in range(iters):
+                yield coalesced_load(
+                    0x1100, mat_a,
+                    a_base + (k % self.a_tile_blocks) * WARP_BYTES,
+                )
+                yield coalesced_load(
+                    0x1108, mat_b, k * panel_bytes + gwarp * WARP_BYTES
+                )
+                if k % self.accum_period == self.accum_period - 1:
+                    yield coalesced_load(0x1110, mat_c, c_off)
+                    yield coalesced_store(0x1118, mat_c, c_off)
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+@register_workload
+class AttentionGather(_DNNKernel):
+    """Attention-score traffic: query rows vs a skew-gathered KV cache.
+
+    Per step, a warp loads its query row (coalesced, reused across the
+    key loop), gathers ``gather_lanes`` keys from the KV cache -- with
+    ``hot_probability`` of the lanes landing in the most recent
+    ``hot_fraction`` of the cache (autoregressive decoding's
+    recent-token skew) -- and read-modify-writes its running-softmax
+    accumulator.  The diverged gathers make this the irregular member
+    of the family, the traffic class FUSE's approximated
+    fully-associative STT bank is built for.
+    """
+
+    name = "attention"
+    apki_paper = 48.0
+    bypass_paper = 0.7
+    irregular = True
+    description = "query rows vs skew-gathered KV cache, softmax RMW"
+
+    #: KV-cache footprint in bytes before working-set scaling
+    kv_cache_bytes = 1 << 22
+    #: gathered lanes per key step (distinct keys touched)
+    gather_lanes = 16
+    #: fraction of the cache holding the recent hot tokens
+    hot_fraction = 0.125
+    #: probability a lane's key is a hot token
+    hot_probability = 0.6
+    #: key steps between attention-output stores
+    output_period = 8
+
+    def warp_stream(self, sm_id: int, warp_id: int) -> Iterator[WarpInstruction]:
+        rng = self.rng_for(sm_id, warp_id)
+        cache_bytes = max(WARP_BYTES, self.scaled(self.kv_cache_bytes))
+        queries = region(0, 1 << 22)
+        kv_cache = region(1, 1 << 24)
+        scores = region(2, 1 << 20)
+        outputs = region(3, 1 << 21)
+        gwarp = self.global_warp(sm_id, warp_id)
+        hot_bytes = max(WARP_BYTES, int(cache_bytes * self.hot_fraction))
+        # per step: Q load + gather_lanes-txn gather + score RMW
+        iters = self.iterations_for(3.0 + self.gather_lanes)
+
+        def memory():
+            q_off = gwarp * WARP_BYTES
+            score_off = gwarp * WARP_BYTES
+            for step in range(iters):
+                yield coalesced_load(0x1200, queries, q_off)
+                addresses = []
+                for _ in range(self.gather_lanes):
+                    if rng.random() < self.hot_probability:
+                        # hot window ends at the cache's write frontier
+                        off = cache_bytes - hot_bytes + rng.randrange(
+                            hot_bytes
+                        )
+                    else:
+                        off = rng.randrange(cache_bytes)
+                    addresses.append(kv_cache.addr(off & ~3))
+                yield load_instruction(0x1208, addresses)
+                yield coalesced_load(0x1210, scores, score_off)
+                yield coalesced_store(0x1218, scores, score_off)
+                if step % self.output_period == self.output_period - 1:
+                    yield coalesced_store(
+                        0x1220, outputs, gwarp * WARP_BYTES
+                    )
+
+        yield from interleave(memory(), self.effective_apki, rng)
+
+
+#: the fifth suite's workload names, in registration order
+DNN_SUITE = [Conv2DIm2col.name, GEMMTiles.name, AttentionGather.name]

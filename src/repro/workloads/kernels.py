@@ -20,6 +20,10 @@ from typing import Iterator, List
 
 from repro.workloads.trace import TraceScale, WarpInstruction
 
+__all__ = [
+    "KernelModel",
+]
+
 
 class KernelModel(abc.ABC):
     """One benchmark's synthetic kernel.
@@ -118,6 +122,36 @@ class KernelModel(abc.ABC):
         """Adapter with the ``(sm_id, warp_id) -> iterable`` signature the
         simulator expects."""
         return self.warp_stream
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def variant(cls, name: str, **overrides) -> type:
+        """A subclass with overridden class attributes (shape knobs).
+
+        The DNN family and user models expose their tensor shapes and
+        reuse distances as class attributes; ``variant`` stamps out a
+        differently-shaped version without writing a class body::
+
+            LongAttention = AttentionGather.variant(
+                "attention-long", kv_cache_bytes=1 << 24)
+            register_workload(LongAttention)
+
+        Raises:
+            ValueError: when an override names an attribute the model
+                does not define (catches typos before they silently
+                produce the base model's traffic).
+        """
+        unknown = sorted(k for k in overrides if not hasattr(cls, k))
+        if unknown:
+            raise ValueError(
+                f"{cls.__name__} has no attribute(s) {', '.join(unknown)}"
+            )
+        # pin __module__: type() inside the ABC machinery would report
+        # 'abc', which makes every variant look alike to the registry's
+        # same-definition check and to debuggers
+        return type(f"{cls.__name__}_{name}", (cls,),
+                    {"name": name, "__module__": cls.__module__,
+                     **overrides})
 
     # ------------------------------------------------------------------
     def materialise(self, sm_id: int, warp_id: int) -> List[WarpInstruction]:

@@ -26,6 +26,11 @@ from repro.workloads.trace import (
     store_instruction,
 )
 
+__all__ = [
+    "InvertedIndex", "PageViewCount", "PageViewRank", "SimilarityScore",
+    "StringMatch",
+]
+
 
 class _MarsKernel(KernelModel):
     suite = "Mars"

@@ -24,6 +24,10 @@ from repro.workloads.trace import (
     store_instruction,
 )
 
+__all__ = [
+    "Histo", "MriG",
+]
+
 
 class _ParboilKernel(KernelModel):
     suite = "Parboil"

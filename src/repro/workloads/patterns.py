@@ -29,6 +29,13 @@ from repro.workloads.trace import (
     store_instruction,
 )
 
+__all__ = [
+    "ELEMENT", "Region", "WARP_BYTES", "WARP_LANES", "coalesced_load",
+    "coalesced_store", "gather_load", "interleave", "lane_addresses",
+    "region", "rmw", "scatter_store", "strided_load", "strided_store",
+    "take_instructions", "zipf_indices",
+]
+
 #: lane element size; each thread reads/writes a 4-byte word
 ELEMENT = 4
 

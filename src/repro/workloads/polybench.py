@@ -29,6 +29,11 @@ from repro.workloads.patterns import (
 )
 from repro.workloads.trace import WarpInstruction
 
+__all__ = [
+    "ATAX", "BICG", "FDTD2D", "GEMM", "GESUMMV", "MVT", "SYR2K", "ThreeMM",
+    "TwoDConv", "TwoMM",
+]
+
 
 class _PolyKernel(KernelModel):
     suite = "PolyBench"

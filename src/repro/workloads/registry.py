@@ -1,0 +1,279 @@
+"""Open workload registry: the extension point for new kernel models.
+
+Historically the name -> :class:`~repro.workloads.kernels.KernelModel`
+mapping was a hard-coded table in :mod:`repro.workloads.benchmarks`;
+adding a workload meant editing the package.  The registry inverts that:
+any module (built-in family, example script, downstream user code) can
+register models, and everything that resolves workloads by name -- the
+:func:`~repro.workloads.benchmarks.benchmark` factory, ``repro list``,
+``repro sweep --workloads``, the harness and the experiment engine --
+goes through the registry.
+
+Two registration styles::
+
+    from repro.workloads.registry import register_workload
+
+    @register_workload                      # decorator
+    class MyKernel(KernelModel):
+        name = "my-kernel"
+        suite = "custom"
+        ...
+
+    REGISTRY.add(MyKernel)                  # programmatic
+
+Registration is by the class's ``name`` attribute; a second registration
+of the same name raises unless ``replace=True``.  Suites are derived
+from the registered classes' ``suite`` attributes, so a custom suite
+shows up in per-suite reports (``suite_of``) without any further wiring.
+
+Worker processes of the parallel engine inherit registrations on fork
+(the default on Linux); spawn-style pools re-import only the built-in
+families, so custom workloads must be registered at module import time
+of a module the worker imports (see ``docs/workload-authoring.md``).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Iterator, List, Optional, Type, Union
+
+from repro.workloads.kernels import KernelModel
+from repro.workloads.trace import TraceScale
+
+__all__ = [
+    "REGISTRY",
+    "WorkloadRegistry",
+    "ensure_builtin_workloads",
+    "register_workload",
+]
+
+#: modules whose import populates the default registry with the
+#: built-in workload families (Table II + the DNN suite)
+BUILTIN_MODULES = (
+    "repro.workloads.benchmarks",
+    "repro.workloads.dnn",
+)
+
+
+def _attribute_fingerprint(model: Type[KernelModel]) -> Dict[str, object]:
+    """The class's own non-callable attributes (shape knobs, metadata).
+
+    Two classes with the same location and fingerprint are the same
+    *definition* (e.g. one module executed twice); classes whose knob
+    values differ -- two ``variant()`` shapes sharing a name -- are not,
+    even though re-execution recreates method objects that never compare
+    equal (which is why callables and descriptors -- properties,
+    class/static methods -- are excluded, along with private machinery
+    like ABC's per-class ``_abc_impl``)."""
+    return {
+        key: value
+        for key, value in vars(model).items()
+        if not key.startswith("_")
+        and not callable(value)
+        and not isinstance(value, (property, classmethod, staticmethod))
+    }
+
+
+def _same_definition(
+    a: Type[KernelModel], b: Type[KernelModel]
+) -> bool:
+    """Whether two classes are plausibly the same source definition."""
+    if a is b:
+        return True
+    return (
+        a.__module__ == b.__module__
+        and a.__qualname__ == b.__qualname__
+        and _attribute_fingerprint(a) == _attribute_fingerprint(b)
+    )
+
+
+class WorkloadRegistry:
+    """A name -> :class:`KernelModel` subclass mapping with registration.
+
+    Names preserve registration order (built-ins register in the paper's
+    figure order, so iteration matches the historical table).
+    """
+
+    def __init__(self) -> None:
+        self._models: Dict[str, Type[KernelModel]] = {}
+
+    # -- registration --------------------------------------------------
+    def add(
+        self,
+        model: Type[KernelModel],
+        name: Optional[str] = None,
+        replace: bool = False,
+    ) -> Type[KernelModel]:
+        """Register one kernel-model class.
+
+        Args:
+            model: a concrete :class:`KernelModel` subclass.
+            name: registry name; defaults to ``model.name``.
+            replace: allow overwriting an existing registration.
+
+        Re-registering the *same definition* (same module + qualname +
+        attribute fingerprint, e.g. a module re-executed after a failed
+        first import) is tolerated and replaces the stale class; a
+        collision with a different definition -- including two
+        ``variant()`` shapes sharing a name -- raises.
+
+        Raises:
+            TypeError: when *model* is not a ``KernelModel`` subclass.
+            ValueError: for missing/placeholder names, or a collision
+                without ``replace=True``.
+        """
+        if not (isinstance(model, type) and issubclass(model, KernelModel)):
+            raise TypeError(
+                f"workloads must subclass KernelModel, got {model!r}"
+            )
+        resolved = name or getattr(model, "name", "")
+        if not resolved or resolved == KernelModel.name:
+            raise ValueError(
+                f"{model.__name__} needs a concrete 'name' attribute "
+                "before it can be registered"
+            )
+        if not replace and resolved in self._models:
+            existing = self._models[resolved]
+            if not _same_definition(existing, model):
+                raise ValueError(
+                    f"workload {resolved!r} is already registered "
+                    f"(by {existing.__name__}); pass replace=True to "
+                    "override"
+                )
+        self._models[resolved] = model
+        return model
+
+    def register(
+        self,
+        model: Optional[Type[KernelModel]] = None,
+        *,
+        name: Optional[str] = None,
+        replace: bool = False,
+    ) -> Union[Type[KernelModel], Callable]:
+        """Decorator form of :meth:`add`.
+
+        Usable bare (``@registry.register``) or with options
+        (``@registry.register(name="alias", replace=True)``).
+        """
+        if model is not None:
+            return self.add(model, name=name, replace=replace)
+
+        def decorator(cls: Type[KernelModel]) -> Type[KernelModel]:
+            return self.add(cls, name=name, replace=replace)
+
+        return decorator
+
+    def unregister(self, name: str) -> Type[KernelModel]:
+        """Remove a registration (tests, interactive exploration).
+
+        Raises:
+            ValueError: for unknown names.
+        """
+        try:
+            return self._models.pop(name)
+        except KeyError:
+            raise ValueError(f"unknown benchmark {name!r}") from None
+
+    # -- resolution ----------------------------------------------------
+    def get(self, name: str) -> Type[KernelModel]:
+        """The registered model class for *name*.
+
+        Raises:
+            ValueError: for unknown names (the message lists what is
+                registered, which is the CLI's error surface).
+        """
+        try:
+            return self._models[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<nothing registered>"
+            raise ValueError(
+                f"unknown benchmark {name!r}; known: {known}"
+            ) from None
+
+    def create(
+        self,
+        name: str,
+        num_sms: int,
+        warps_per_sm: int,
+        scale: Optional[TraceScale] = None,
+        seed: int = 0,
+    ) -> KernelModel:
+        """Instantiate the registered model for *name*."""
+        return self.get(name)(
+            num_sms=num_sms, warps_per_sm=warps_per_sm, scale=scale,
+            seed=seed,
+        )
+
+    def names(self) -> List[str]:
+        """All registered names, in registration order."""
+        return list(self._models)
+
+    def suites(self) -> Dict[str, List[str]]:
+        """Suite -> workload names, derived from the registered classes
+        (registration order within each suite)."""
+        out: Dict[str, List[str]] = {}
+        for name, model in self._models.items():
+            out.setdefault(model.suite, []).append(name)
+        return out
+
+    def suite_of(self, name: str) -> str:
+        """Suite of one registered workload.
+
+        Raises:
+            ValueError: for unknown names.
+        """
+        return self.get(name).suite
+
+    # -- protocol ------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._models
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkloadRegistry({len(self._models)} workloads)"
+
+
+#: the process-wide default registry every name-based API resolves through
+REGISTRY = WorkloadRegistry()
+
+
+def register_workload(
+    model: Optional[Type[KernelModel]] = None,
+    *,
+    name: Optional[str] = None,
+    replace: bool = False,
+):
+    """Register a kernel model in the default :data:`REGISTRY`.
+
+    Decorator (``@register_workload``) or call
+    (``register_workload(MyKernel)``); see
+    :meth:`WorkloadRegistry.register`.
+    """
+    return REGISTRY.register(model, name=name, replace=replace)
+
+
+_builtins_loaded = False
+
+
+def ensure_builtin_workloads() -> None:
+    """Import the built-in workload families into the default registry.
+
+    Called by every name-resolving entry point, so user code that only
+    imports :mod:`repro.workloads.registry` still sees the Table II and
+    DNN workloads.  Idempotent and cycle-safe: the family modules import
+    this module, but registration happens at *their* import time, not
+    ours.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    for module in BUILTIN_MODULES:
+        importlib.import_module(module)
+    # only after every import succeeded: a failed import must surface
+    # again on the next call, not leave resolution silently empty
+    _builtins_loaded = True

@@ -22,6 +22,10 @@ from repro.workloads.patterns import (
 )
 from repro.workloads.trace import WarpInstruction
 
+__all__ = [
+    "CFD", "Gaussian", "Pathfinder", "SradV1",
+]
+
 
 class _RodiniaKernel(KernelModel):
     suite = "Rodinia"

@@ -1,10 +1,20 @@
-"""Benchmark-suite groupings (used by Figure 7b's per-suite averages)."""
+"""Benchmark-suite groupings.
+
+``SUITES`` pins the paper's four-suite grouping (the axis of Figure 7b's
+per-suite averages) exactly as published.  ``suite_of`` and
+``all_suites`` are registry-backed: they cover *every* registered
+workload -- the DNN suite and user-registered custom suites included --
+so per-suite reports never raise for a workload the paper didn't ship.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-#: suite -> benchmark names, in the paper's figure order
+__all__ = ["SUITES", "all_suites", "suite_of"]
+
+#: the paper's suite -> benchmark names, in Figure 7b's order (static:
+#: this is the published grouping, not the live registry view)
 SUITES: Dict[str, List[str]] = {
     "PolyBench": [
         "2DCONV", "2MM", "3MM", "ATAX", "BICG", "FDTD", "GEMM",
@@ -17,12 +27,22 @@ SUITES: Dict[str, List[str]] = {
 
 
 def suite_of(benchmark_name: str) -> str:
-    """Suite a benchmark belongs to.
+    """Suite a registered workload belongs to (its class's ``suite``
+    attribute -- custom suites resolve the same way as the paper's four).
 
     Raises:
-        ValueError: for unknown benchmarks.
+        ValueError: for names not in the registry.
     """
-    for suite, names in SUITES.items():
-        if benchmark_name in names:
-            return suite
-    raise ValueError(f"unknown benchmark {benchmark_name!r}")
+    from repro.workloads.registry import REGISTRY, ensure_builtin_workloads
+
+    ensure_builtin_workloads()
+    return REGISTRY.suite_of(benchmark_name)
+
+
+def all_suites() -> Dict[str, List[str]]:
+    """Every suite in the registry (the paper's four, the DNN suite, and
+    any user-registered grouping), suite -> workload names."""
+    from repro.workloads.registry import REGISTRY, ensure_builtin_workloads
+
+    ensure_builtin_workloads()
+    return REGISTRY.suites()

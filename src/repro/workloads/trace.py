@@ -26,6 +26,11 @@ from typing import Iterable, Sequence, Tuple
 
 from repro.gpu.coalescer import coalesce
 
+__all__ = [
+    "COMPUTE", "LOAD", "STORE", "TraceScale", "WarpInstruction",
+    "compute_block", "load_instruction", "store_instruction",
+]
+
 #: instruction kinds
 COMPUTE = 0
 LOAD = 1

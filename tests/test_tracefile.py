@@ -1,0 +1,423 @@
+"""Tests for trace export/import/replay and its run-identity folding."""
+
+import json
+
+import pytest
+
+from repro.engine import ExperimentEngine, ResultStore
+from repro.engine.serialize import result_to_dict
+from repro.engine.spec import RunSpec, execute_spec
+from repro.workloads.benchmarks import benchmark
+from repro.workloads.dnn import DNN_SUITE
+from repro.workloads.trace import TraceScale
+from repro.workloads.tracefile import (
+    TRACE_SCHEMA,
+    export_trace,
+    load_trace,
+    replay_kernel,
+    trace_sha256,
+)
+
+NUM_SMS = 1
+SCALE = TraceScale.smoke()
+
+
+@pytest.fixture
+def atax_trace(tmp_path):
+    """An exported smoke-scale ATAX trace."""
+    model = benchmark(
+        "ATAX", num_sms=NUM_SMS, warps_per_sm=SCALE.warps_per_sm,
+        scale=SCALE,
+    )
+    path = tmp_path / "atax.trace.jsonl"
+    export_trace(model, path, scale="smoke", gpu_profile="fermi")
+    return path
+
+
+class TestFormat:
+    def test_header_round_trip(self, atax_trace):
+        trace = load_trace(atax_trace)
+        assert trace.meta.workload == "ATAX"
+        assert trace.meta.num_sms == NUM_SMS
+        assert trace.meta.warps_per_sm == SCALE.warps_per_sm
+        assert trace.meta.scale == "smoke"
+        assert trace.meta.gpu_profile == "fermi"
+        assert len(trace.streams) == NUM_SMS * SCALE.warps_per_sm
+        assert trace.total_instructions > 0
+        assert trace.total_transactions > 0
+
+    def test_streams_round_trip_losslessly(self, atax_trace):
+        model = benchmark(
+            "ATAX", num_sms=NUM_SMS, warps_per_sm=SCALE.warps_per_sm,
+            scale=SCALE,
+        )
+        trace = load_trace(atax_trace)
+        for warp_id in range(SCALE.warps_per_sm):
+            assert list(trace.instructions(0, warp_id)) == (
+                model.materialise(0, warp_id)
+            )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            load_trace(tmp_path / "nope.jsonl")
+        with pytest.raises(ValueError, match="not found"):
+            trace_sha256(tmp_path / "nope.jsonl")
+
+    def test_export_summary_matches_file(self, tmp_path):
+        """The totals/hash accumulated during the write agree with a
+        full re-read, so callers never need to re-parse the file."""
+        model = benchmark(
+            "ATAX", num_sms=NUM_SMS, warps_per_sm=SCALE.warps_per_sm,
+            scale=SCALE,
+        )
+        path = tmp_path / "t.jsonl"
+        summary = export_trace(model, path, scale="smoke")
+        trace = load_trace(path)
+        assert summary.warp_streams == len(trace.streams)
+        assert summary.instructions == trace.total_instructions
+        assert summary.transactions == trace.total_transactions
+        assert summary.sha256 == trace_sha256(path)
+
+    def test_missing_header_field_rejected(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text(
+            '{"kind": "repro-trace", "schema": 1, "workload": "x"}\n'
+        )
+        with pytest.raises(ValueError, match="malformed trace header"):
+            load_trace(path)
+
+    def test_memo_skips_racily_fresh_files(self, atax_trace):
+        """Files inside the racy window are re-read every time (a
+        same-size rewrite in the same mtime tick would be invisible);
+        back-dated (stable) files are cached."""
+        import os
+
+        from repro.workloads import tracefile
+
+        key = str(atax_trace.resolve())
+        trace_sha256(atax_trace)  # fresh export: must NOT be cached
+        assert key not in tracefile._HASH_CACHE
+        load_trace(atax_trace)
+        assert key not in tracefile._TRACE_CACHE
+
+        stale = 10 * tracefile._RACY_WINDOW_NS / 1e9
+        past = atax_trace.stat().st_mtime - stale
+        os.utime(atax_trace, (past, past))
+        trace_sha256(atax_trace)
+        assert key in tracefile._HASH_CACHE
+        load_trace(atax_trace)
+        assert key in tracefile._TRACE_CACHE
+        tracefile._HASH_CACHE.pop(key, None)
+        tracefile._TRACE_CACHE.pop(key, None)
+
+    def test_non_object_record_rejected(self, atax_trace, tmp_path):
+        header = atax_trace.read_text().splitlines()[0]
+        bad = tmp_path / "arrayline.jsonl"
+        bad.write_text(header + "\n[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="malformed warp record"):
+            load_trace(bad)
+
+    def test_non_trace_file_rejected(self, tmp_path):
+        path = tmp_path / "random.jsonl"
+        path.write_text('{"some": "json"}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_future_schema_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = TRACE_SCHEMA + 1
+        bumped = tmp_path / "future.jsonl"
+        bumped.write_text(
+            "\n".join([json.dumps(header)] + lines[1:]) + "\n"
+        )
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(bumped)
+
+    def test_malformed_warp_record_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        lines[1] = '{"sm": 0}'  # missing warp/ops
+        broken = tmp_path / "broken.jsonl"
+        broken.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="malformed warp record"):
+            load_trace(broken)
+
+    def test_duplicate_warp_record_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        lines.insert(2, lines[1])  # re-emit warp (0, 0) before the footer
+        dup = tmp_path / "dup.jsonl"
+        dup.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="duplicate warp record"):
+            load_trace(dup)
+
+    def test_out_of_shape_warp_record_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        lines.insert(-1, '{"sm": 0, "warp": 99, "ops": []}')
+        bad = tmp_path / "oob.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="outside the header"):
+            load_trace(bad)
+
+    def test_truncated_trace_rejected(self, atax_trace, tmp_path):
+        """A file cut off before the end marker (partial copy, killed
+        converter) must not silently replay with idle warps."""
+        lines = atax_trace.read_text().splitlines()
+        truncated = tmp_path / "cut.jsonl"
+        truncated.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(ValueError, match="truncated trace"):
+            load_trace(truncated)
+
+    def test_wrong_stream_count_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        del lines[1]  # drop one warp record, keep the original footer
+        bad = tmp_path / "count.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="warp streams"):
+            load_trace(bad)
+
+    def test_record_after_end_marker_rejected(self, atax_trace, tmp_path):
+        bad = tmp_path / "tail.jsonl"
+        bad.write_text(
+            atax_trace.read_text() + '{"sm": 0, "warp": 0, "ops": []}\n'
+        )
+        with pytest.raises(ValueError, match="after the end marker"):
+            load_trace(bad)
+
+    def test_bad_op_fields_rejected(self, atax_trace, tmp_path):
+        for ops in (
+            '[[1, "pc", 1, [0]]]',      # string pc
+            '[[7, 0, 1, []]]',          # unknown kind
+            '[[1, 0, 1, ["addr"]]]',    # string address
+            '[[1, 0, 0, []]]',          # non-positive count
+        ):
+            bad = tmp_path / "badops.jsonl"
+            bad.write_text(
+                atax_trace.read_text().splitlines()[0] + "\n"
+                + f'{{"sm": 0, "warp": 0, "ops": {ops}}}\n'
+            )
+            with pytest.raises(ValueError, match="malformed warp record"):
+                load_trace(bad)
+
+    def test_non_integer_ids_rejected(self, atax_trace, tmp_path):
+        header = atax_trace.read_text().splitlines()[0]
+        bad = tmp_path / "floaty.jsonl"
+        bad.write_text(
+            header + "\n" + '{"sm": 0.7, "warp": 0, "ops": []}\n'
+        )
+        with pytest.raises(ValueError, match="malformed warp record"):
+            load_trace(bad)
+
+    def test_non_integer_header_shape_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["num_sms"] = 1.5
+        bad = tmp_path / "floathead.jsonl"
+        bad.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="malformed trace header"):
+            load_trace(bad)
+
+    def test_non_string_header_labels_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["scale"] = ["smoke"]
+        bad = tmp_path / "listscale.jsonl"
+        bad.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="malformed trace header"):
+            load_trace(bad)
+
+    def test_boolean_kind_rejected(self, atax_trace, tmp_path):
+        header = atax_trace.read_text().splitlines()[0]
+        bad = tmp_path / "boolkind.jsonl"
+        bad.write_text(
+            header + "\n"
+            + '{"sm": 0, "warp": 0, "ops": [[true, 0, 1, [0]]]}\n'
+        )
+        with pytest.raises(ValueError, match="malformed warp record"):
+            load_trace(bad)
+
+    def test_degenerate_header_shape_rejected(self, atax_trace, tmp_path):
+        lines = atax_trace.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["num_sms"] = 0
+        bad = tmp_path / "zerosms.jsonl"
+        bad.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="must be positive"):
+            load_trace(bad)
+
+    def test_interrupted_export_leaves_no_partial_file(self, tmp_path):
+        """A generator that dies mid-export must not leave a loadable
+        truncated trace behind (absent warps replay silently idle)."""
+        model = benchmark(
+            "ATAX", num_sms=NUM_SMS, warps_per_sm=SCALE.warps_per_sm,
+            scale=SCALE,
+        )
+        original = model.warp_stream
+
+        def exploding(sm_id, warp_id):
+            if warp_id >= 2:
+                raise RuntimeError("killed mid-export")
+            return original(sm_id, warp_id)
+
+        model.warp_stream = exploding
+        path = tmp_path / "partial.jsonl"
+        with pytest.raises(RuntimeError):
+            export_trace(model, path, scale="smoke")
+        assert not path.exists()
+        assert not path.with_suffix(".jsonl.tmp").exists()
+
+    def test_header_shape_is_authoritative(self, atax_trace):
+        """Replay takes its machine shape from the header, so external
+        traces with non-preset shapes are replayable: a spec whose
+        scale/SM count disagree with the header still reproduces the
+        generating run bit-for-bit."""
+        kernel = replay_kernel(
+            atax_trace, num_sms=NUM_SMS + 3, warps_per_sm=99,
+        )
+        assert kernel.num_sms == NUM_SMS
+        assert kernel.warps_per_sm == SCALE.warps_per_sm
+
+        generated = execute_spec(RunSpec.build(
+            "L1-SRAM", "ATAX", scale="smoke", num_sms=NUM_SMS,
+        ))
+        spec_odd = RunSpec.build(
+            # 'bench' scale and a wrong SM count: both normalised from
+            # the trace header at build time
+            "L1-SRAM", f"trace:{atax_trace}", scale="bench",
+            num_sms=NUM_SMS + 3,
+        )
+        replayed = execute_spec(spec_odd)
+        a, b = result_to_dict(generated), result_to_dict(replayed)
+        a.pop("workload_name"), b.pop("workload_name")
+        assert a == b
+
+        # identical replays share one store key no matter what shape,
+        # seed or salt flags the caller passed (replay consults none)
+        spec_plain = RunSpec.build(
+            "L1-SRAM", f"trace:{atax_trace}", scale="smoke",
+            num_sms=NUM_SMS, seed=42, trace_salt=9,
+        )
+        assert spec_odd.key() == spec_plain.key()
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("config", ["L1-SRAM", "Dy-FUSE"])
+    def test_replay_matches_generating_kernel(self, atax_trace, config):
+        """The acceptance bar: export -> import -> replay reproduces the
+        generating kernel's SimulationResult bit-for-bit."""
+        generated = execute_spec(RunSpec.build(
+            config, "ATAX", scale="smoke", num_sms=NUM_SMS,
+        ))
+        replayed = execute_spec(RunSpec.build(
+            config, f"trace:{atax_trace}", scale="smoke", num_sms=NUM_SMS,
+        ))
+        a, b = result_to_dict(generated), result_to_dict(replayed)
+        assert a.pop("workload_name") == "ATAX"
+        assert b.pop("workload_name") == f"trace:{atax_trace}"
+        assert a == b
+
+    def test_dnn_workload_replays_too(self, tmp_path):
+        model = benchmark(
+            "gemm-tile", num_sms=NUM_SMS,
+            warps_per_sm=SCALE.warps_per_sm, scale=SCALE,
+        )
+        path = tmp_path / "gemm.trace.jsonl"
+        export_trace(model, path, scale="smoke")
+        generated = execute_spec(RunSpec.build(
+            "L1-SRAM", "gemm-tile", scale="smoke", num_sms=NUM_SMS,
+        ))
+        replayed = execute_spec(RunSpec.build(
+            "L1-SRAM", f"trace:{path}", scale="smoke", num_sms=NUM_SMS,
+        ))
+        a, b = result_to_dict(generated), result_to_dict(replayed)
+        a.pop("workload_name"), b.pop("workload_name")
+        assert a == b
+
+
+class TestRunIdentity:
+    def test_key_folds_trace_content(self, atax_trace):
+        """Same path, different bytes -> different RunKey."""
+        spec_before = RunSpec.build(
+            "L1-SRAM", f"trace:{atax_trace}", scale="smoke",
+            num_sms=NUM_SMS,
+        )
+        # change the recorded seed: content changes (validly), path
+        # does not
+        lines = atax_trace.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["seed"] = 7
+        atax_trace.write_text(
+            "\n".join([json.dumps(header, sort_keys=True)] + lines[1:])
+            + "\n"
+        )
+        spec_after = RunSpec.build(
+            "L1-SRAM", f"trace:{atax_trace}", scale="smoke",
+            num_sms=NUM_SMS,
+        )
+        assert spec_before.trace_sha256 != spec_after.trace_sha256
+        assert spec_before.key().digest != spec_after.key().digest
+
+    def test_execute_refuses_stale_spec(self, atax_trace):
+        spec = RunSpec.build(
+            "L1-SRAM", f"trace:{atax_trace}", scale="smoke",
+            num_sms=NUM_SMS,
+        )
+        with atax_trace.open("a") as handle:
+            handle.write('{"sm": 0, "warp": 99, "ops": []}\n')
+        with pytest.raises(ValueError, match="changed"):
+            execute_spec(spec)
+
+    def test_generated_workload_keys_unchanged(self):
+        """Non-trace specs carry no trace hash, so their canonical dict
+        (and therefore every pre-existing store key) is unchanged."""
+        from repro.engine.spec import spec_to_dict
+
+        spec = RunSpec.build("L1-SRAM", "ATAX", scale="smoke",
+                             num_sms=NUM_SMS)
+        assert spec.trace_sha256 is None
+        assert "trace_sha256" not in spec_to_dict(spec)
+
+
+class TestEngineIntegration:
+    def test_trace_sweep_through_engine_with_store(
+        self, atax_trace, tmp_path
+    ):
+        """A trace workload sweeps through the parallel engine and round-
+        trips the persistent store like any generated workload."""
+        store_path = tmp_path / "store.jsonl"
+        workloads = [f"trace:{atax_trace}"]
+        engine = ExperimentEngine(store=ResultStore(store_path), workers=1)
+        _, first = engine.run_matrix(
+            ["L1-SRAM"], workloads, scale="smoke", num_sms=NUM_SMS,
+        )
+        assert [o.source for o in first] == ["fresh"]
+        engine2 = ExperimentEngine(
+            store=ResultStore(store_path), workers=1
+        )
+        table, second = engine2.run_matrix(
+            ["L1-SRAM"], workloads, scale="smoke", num_sms=NUM_SMS,
+        )
+        assert [o.source for o in second] == ["store"]
+        assert result_to_dict(
+            table[workloads[0]]["L1-SRAM"]
+        ) == result_to_dict(first[0].result)
+
+    def test_dnn_suite_sweep_with_store_round_trip(self, tmp_path):
+        """The acceptance bar: a DNN-suite sweep runs end-to-end through
+        the parallel engine, and a repeat completes from the store."""
+        store_path = tmp_path / "store.jsonl"
+        engine = ExperimentEngine(
+            store=ResultStore(store_path), workers=2
+        )
+        table, first = engine.run_matrix(
+            ["L1-SRAM", "Dy-FUSE"], DNN_SUITE, scale="smoke", num_sms=2,
+        )
+        assert all(o.ok for o in first)
+        assert {o.source for o in first} == {"fresh"}
+        assert set(table) == set(DNN_SUITE)
+        engine2 = ExperimentEngine(
+            store=ResultStore(store_path), workers=2
+        )
+        _, second = engine2.run_matrix(
+            ["L1-SRAM", "Dy-FUSE"], DNN_SUITE, scale="smoke", num_sms=2,
+        )
+        assert {o.source for o in second} == {"store"}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Link-check the repository's markdown documentation.
+
+Scans the given markdown files (default: README.md, ARCHITECTURE.md and
+docs/*.md) for inline links/images ``[text](target)`` and verifies that
+every relative target exists on disk.  External (http/https/mailto)
+links and pure in-page anchors are skipped; a ``path#fragment`` target
+is checked for the path only.
+
+Exit status 0 when everything resolves, 1 with a per-link report
+otherwise (the CI docs job runs this).
+
+Usage::
+
+    python tools/check_docs.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: inline markdown link/image: [text](target) / ![alt](target).
+#: targets never contain whitespace in this repo's docs, which keeps the
+#: pattern from swallowing prose parentheses.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes (and in-page anchors) that are not filesystem paths
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_files() -> List[pathlib.Path]:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ARCHITECTURE.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code: shell snippets routinely
+    contain ``[...](...)``-shaped globs that are not links."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(path: pathlib.Path) -> List[Tuple[str, str]]:
+    """Broken links in one file as (target, reason) pairs."""
+    broken = []
+    for target in LINK.findall(strip_code(path.read_text())):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((target, f"missing: {resolved}"))
+    return broken
+
+
+def main(argv: Iterable[str]) -> int:
+    args = list(argv)
+    files = [pathlib.Path(a) for a in args] if args else default_files()
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"FAIL {path}: file does not exist")
+            failures += 1
+            continue
+        broken = check_file(path)
+        for target, reason in broken:
+            print(f"FAIL {path}: [{target}] {reason}")
+        failures += len(broken)
+        if not broken:
+            print(f"ok   {path}")
+    if failures:
+        print(f"\n{failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
