@@ -7,11 +7,26 @@ wall-clock simulated-cycles/sec and L1D-transactions/sec for a set of
 so hot-path regressions show up as a tracked number instead of as a
 vague "sweeps feel slower".
 
+Each pair also reports the **trace-generation vs. simulation split**:
+the first repeat compiles the workload's packed trace arena
+(:mod:`repro.workloads.arena`); later repeats replay it warm, so the
+best-of-N time is pure simulation.  ``trace_gen_seconds`` is the
+one-time pack cost, sourced from the arena cache's own accounting.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py              # full
     PYTHONPATH=src python benchmarks/bench_throughput.py --smoke      # CI
     PYTHONPATH=src python benchmarks/bench_throughput.py --json out.json
+
+Regression gating (see ``docs/performance.md``)::
+
+    # record a baseline after a deliberate perf change
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke --repeats 3 \
+        --json benchmarks/results/throughput_baseline.json
+    # fail (exit 1) when any pair regresses >30% against it
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke --repeats 3 \
+        --check benchmarks/results/throughput_baseline.json
 
 The headline pair is ``Dy-FUSE x SS`` (the paper's preferred config on
 an interleaved compute/memory stream), which exercises every hot layer
@@ -30,6 +45,7 @@ import time
 from typing import List, Optional
 
 from repro.engine.spec import RunSpec, execute_spec
+from repro.workloads.arena import arena_cache_stats, reset_arena_cache
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -56,11 +72,18 @@ def measure_pair(
     repeats: int,
     seed: int = 0,
 ) -> dict:
-    """Run one pair *repeats* times; keep the best (lowest-noise) time."""
+    """Run one pair *repeats* times; keep the best (lowest-noise) time.
+
+    The arena cache is reset first, so the pair's first repeat pays the
+    trace pack exactly once and the kept best-of-N time reflects the
+    warm (simulation-only) path -- the steady state of a config sweep.
+    """
     spec = RunSpec.build(
         config, workload, gpu_profile="fermi", scale=scale,
         seed=seed, num_sms=num_sms,
     )
+    reset_arena_cache()
+    before = arena_cache_stats()
     best: Optional[float] = None
     result = None
     for _ in range(repeats):
@@ -68,6 +91,7 @@ def measure_pair(
         result = execute_spec(spec)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
+    after = arena_cache_stats()
     transactions = result.load_transactions + result.store_transactions
     return {
         "config": config,
@@ -80,6 +104,8 @@ def measure_pair(
         "transactions": transactions,
         "l1d_accesses": result.l1d.accesses,
         "wall_seconds": best,
+        "trace_gen_seconds": after["pack_seconds"] - before["pack_seconds"],
+        "trace_packs": after["packs"] - before["packs"],
         "cycles_per_sec": result.cycles / best if best else 0.0,
         "transactions_per_sec": transactions / best if best else 0.0,
     }
@@ -96,7 +122,9 @@ def run_benchmark(
             f"{config:>9} x {workload:<8} {row['simulated_cycles']:>9,} cyc "
             f"in {row['wall_seconds']:6.2f}s  -> "
             f"{row['cycles_per_sec']:>10,.0f} cyc/s  "
-            f"{row['transactions_per_sec']:>9,.0f} txn/s",
+            f"{row['transactions_per_sec']:>9,.0f} txn/s  "
+            f"(trace-gen {row['trace_gen_seconds']:5.2f}s, "
+            f"{row['trace_packs']} pack)",
             flush=True,
         )
     return {
@@ -106,6 +134,56 @@ def run_benchmark(
         "repeats": repeats,
         "rows": rows,
     }
+
+
+def check_against_baseline(
+    report: dict, baseline_path: pathlib.Path, tolerance: float
+) -> int:
+    """Compare cycles/sec per pair against a recorded baseline.
+
+    Returns the number of regressed pairs (``new < old * (1 -
+    tolerance)``); pairs absent from the baseline, and baseline pairs
+    not measured now, are reported but never fail the check.
+    Improvements always pass.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    if (baseline.get("scale"), baseline.get("num_sms")) != (
+        report["scale"], report["num_sms"]
+    ):
+        print(
+            f"warning: baseline recorded at scale={baseline.get('scale')} "
+            f"sms={baseline.get('num_sms')}, comparing against "
+            f"scale={report['scale']} sms={report['num_sms']}",
+            file=sys.stderr,
+        )
+    old_rows = {
+        (row["config"], row["workload"]): row
+        for row in baseline.get("rows", [])
+    }
+    regressed = 0
+    for row in report["rows"]:
+        key = (row["config"], row["workload"])
+        old = old_rows.pop(key, None)
+        if old is None:
+            print(f"note: {key[0]} x {key[1]} has no baseline entry")
+            continue
+        floor = old["cycles_per_sec"] * (1.0 - tolerance)
+        ratio = (
+            row["cycles_per_sec"] / old["cycles_per_sec"]
+            if old["cycles_per_sec"] else float("inf")
+        )
+        status = "ok" if row["cycles_per_sec"] >= floor else "REGRESSED"
+        print(
+            f"baseline check: {key[0]:>9} x {key[1]:<8} "
+            f"{old['cycles_per_sec']:>10,.0f} -> "
+            f"{row['cycles_per_sec']:>10,.0f} cyc/s "
+            f"({ratio:5.2f}x)  {status}"
+        )
+        if status == "REGRESSED":
+            regressed += 1
+    for key in old_rows:
+        print(f"note: baseline pair {key[0]} x {key[1]} not measured")
+    return regressed
 
 
 def main(argv=None) -> int:
@@ -119,7 +197,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=2,
-        help="timed repetitions per pair, best kept (default 2)",
+        help="timed repetitions per pair, best kept (default 2; >= 2 "
+             "makes the kept time warm-arena, i.e. simulation-only)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -128,6 +207,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a recorded baseline JSON; exit 1 when any "
+             "pair's cycles/sec regresses more than --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional cycles/sec regression for --check "
+             "(default 0.30, absorbing machine noise; see "
+             "docs/performance.md)",
     )
     args = parser.parse_args(argv)
 
@@ -139,16 +229,32 @@ def main(argv=None) -> int:
     report = run_benchmark(scale, num_sms, args.repeats, pairs)
 
     headline = report["rows"][0]
+    trace_gen = sum(row["trace_gen_seconds"] for row in report["rows"])
     print(
         f"\nheadline ({headline['config']} x {headline['workload']}): "
         f"{headline['cycles_per_sec']:,.0f} simulated-cycles/sec, "
-        f"{headline['transactions_per_sec']:,.0f} transactions/sec"
+        f"{headline['transactions_per_sec']:,.0f} transactions/sec\n"
+        f"trace generation: {trace_gen:.2f}s total across "
+        f"{sum(row['trace_packs'] for row in report['rows'])} packs "
+        "(paid once per trace; warm repeats simulate only)"
     )
     if args.json:
         path = pathlib.Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
         print(f"wrote {path}")
+    if args.check:
+        regressed = check_against_baseline(
+            report, pathlib.Path(args.check), args.tolerance
+        )
+        if regressed:
+            print(
+                f"FAIL: {regressed} pair(s) regressed more than "
+                f"{args.tolerance:.0%} against {args.check}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"baseline check passed (tolerance {args.tolerance:.0%})")
     return 0
 
 

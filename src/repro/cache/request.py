@@ -67,8 +67,11 @@ class MemoryRequest:
         sm_id: streaming multiprocessor that issued the request.
         warp_id: warp (within the SM) that issued the request.
         issue_cycle: core cycle at which the request reached the L1D.
-        request_id: monotonically increasing identity, useful for debugging
-            and for deterministic tie-breaking.
+        request_id: identity assigned at object construction (monotonic
+            across constructions).  The SM's LSU pools and reuses request
+            objects (:mod:`repro.gpu.sm`), so a recycled request keeps
+            its original id: treat it as an object identity for
+            debugging, not as a per-transaction sequence number.
     """
 
     address: int

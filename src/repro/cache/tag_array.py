@@ -18,6 +18,7 @@ counts.  Those feed two paper mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Iterator, List, Optional, Tuple
 
 from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
@@ -110,6 +111,14 @@ class TagArray:
         #: in the steady state (set full, no reservation pending)
         self._free_count: List[int] = [assoc] * num_sets
         self._reserved_count: List[int] = [0] * num_sets
+        #: per-set min-heaps of free (invalid, unreserved) way indices:
+        #: popping the minimum is identical to scanning the set for the
+        #: first free way, without the O(assoc) walk that dominated the
+        #: 512-way STT bank under migration churn (invalidate keeps
+        #: punching free ways into the middle of the set)
+        self._free_ways: List[List[int]] = [
+            list(range(assoc)) for _ in range(num_sets)
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -205,10 +214,9 @@ class TagArray:
 
         victim_way: Optional[int] = None
         if self._free_count[set_idx] > 0:
-            for way, line in enumerate(ways):
-                if not line.valid and not line.reserved:
-                    victim_way = way
-                    break
+            # lowest free way index, same choice the old first-free scan
+            # made, in O(log assoc)
+            victim_way = heappop(self._free_ways[set_idx])
         if victim_way is None:
             if self._reserved_count[set_idx] == 0:
                 victim_way = self.policy.select_victim_all(set_idx)
@@ -327,6 +335,7 @@ class TagArray:
         line.reset()
         self._index.pop(block_addr, None)
         self._free_count[set_idx] += 1
+        heappush(self._free_ways[set_idx], way)
         return snapshot
 
     def occupancy(self) -> int:

@@ -127,9 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--profile", action="store_true",
         help="run the sweep serially under cProfile and print the top "
-             "cumulative entries (forces --workers 1, bypasses the store "
-             "so every run is really simulated)",
+             "entries (forces --workers 1, bypasses the store so every "
+             "run is really simulated)",
     )
+    _add_profile_args(sweep)
     _add_machine_args(sweep)
 
     trace = sub.add_parser(
@@ -176,16 +177,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("config", help="L1D configuration name (see 'list')")
     profile.add_argument("workload", help="benchmark name (see 'list')")
-    profile.add_argument(
+    _add_profile_args(profile)
+    _add_machine_args(profile)
+    return parser
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    """cProfile report shaping, shared by ``profile`` and
+    ``sweep --profile``."""
+    parser.add_argument(
         "--sort", default="cumulative", choices=("cumulative", "tottime"),
-        help="stat ordering (default cumulative)",
+        help="profile stat ordering (default cumulative)",
     )
-    profile.add_argument(
+    parser.add_argument(
         "--limit", type=int, default=25,
         help="profile entries to print (default 25)",
     )
-    _add_machine_args(profile)
-    return parser
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -370,23 +377,35 @@ def _profiled(callable_, sort: str = "cumulative", limit: int = 25):
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.engine.spec import RunSpec, execute_spec
+    from repro.workloads.arena import arena_cache_stats
 
     spec = RunSpec.build(
         args.config, args.workload, gpu_profile=args.gpu, scale=args.scale,
         num_sms=args.sms,
     )
+    before = arena_cache_stats()
     result, stats_text, elapsed = _profiled(
         lambda: execute_spec(spec), sort=args.sort, limit=args.limit
     )
+    after = arena_cache_stats()
     print(stats_text, end="")
     cycles_per_sec = result.cycles / elapsed if elapsed else 0.0
     transactions = result.load_transactions + result.store_transactions
+    trace_gen = after["pack_seconds"] - before["pack_seconds"]
+    packs = after["packs"] - before["packs"]
+    simulate = max(0.0, elapsed - trace_gen)
     print(
         f"{args.config} on {args.workload} ({args.scale} scale, "
         f"{args.sms} SMs): {result.cycles:,} simulated cycles in "
         f"{elapsed:.2f}s wall -> {cycles_per_sec:,.0f} cycles/sec, "
         f"{transactions / elapsed if elapsed else 0.0:,.0f} "
         "transactions/sec"
+    )
+    print(
+        f"phase split: trace generation {trace_gen:.2f}s "
+        f"({packs} arena pack{'s' if packs != 1 else ''}"
+        + (", cached from an earlier run" if packs == 0 else "")
+        + f"), simulation {simulate:.2f}s"
     )
     return 0
 
@@ -445,7 +464,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.profile:
         # stderr, like the progress ticker: --json consumers own stdout
-        (table, outcomes), profile_text, _ = _profiled(run)
+        (table, outcomes), profile_text, _ = _profiled(
+            run, sort=args.sort, limit=args.limit
+        )
         print(profile_text, end="", file=sys.stderr)
     else:
         table, outcomes = run()

@@ -16,14 +16,20 @@ workloads; CBF false positives add wasted iterations, which Figure 20
 quantifies.  The tag queue keeps those extra cycles off the SM's critical
 path (they surface as ``tag_search_stall_cycles``, Figure 15).
 
-Implementation note: the per-group filters are held as one numpy counter
-matrix so that the "test every CBF in parallel" step is a vectorised
-fancy-index -- semantically identical to 128 independent
+Implementation note: the "test every CBF in parallel" step is priced
+through per-group **nonzero bitmasks** -- bit ``c`` of group *g*'s mask
+is set while counter ``(g, c)`` is nonzero, maintained incrementally on
+0<->1 crossings.  A key's membership in every group then collapses to
+one vectorised ``(masks & key_masks) == key_masks`` over a uint64 lane
+per group -- semantically identical to testing 128 independent
 :class:`~repro.core.bloom.CountingBloomFilter` objects (2-bit saturating
-counters, double hashing, no false negatives) but ~100x faster, which the
-pure-Python simulator needs.  The standalone class remains the reference
-implementation and the Figure 20 microbench subject; property tests assert
-the two agree on the no-false-negative invariant.
+counters, double hashing, no false negatives) but orders of magnitude
+faster, which the pure-Python simulator needs.  The hash-index and
+key-mask patterns are pure functions of the filter geometry, so they are
+memoised **process-wide** (shared across every SM's bank and every run
+of a sweep) rather than per instance.  The standalone class remains the
+reference implementation and the Figure 20 microbench subject; property
+tests assert the two agree on the no-false-negative invariant.
 """
 
 from __future__ import annotations
@@ -41,6 +47,33 @@ __all__ = [
 
 #: stride separating the hash streams of adjacent groups
 _GROUP_SALT = 0x9E3779B97F4A7C15
+
+#: geometry (num_cbfs, num_hashes, cbf_counters) -> shared pattern maps.
+#: Patterns depend only on the geometry and the key's two double-hash
+#: residues, so every bank of every SM in every run of the process
+#: shares one set (at most ``cbf_counters^2`` residue pairs each).
+_PATTERN_CACHE: Dict[Tuple[int, int, int], Dict[str, Dict]] = {}
+
+#: per-geometry cap on the key -> pattern memo (the residue-pair maps
+#: underneath are naturally tiny; the key maps are what could grow with
+#: a huge-footprint workload)
+_KEY_CACHE_CAP = 1 << 16
+
+
+def _shared_patterns(num_cbfs: int, num_hashes: int,
+                     cbf_counters: int) -> Dict[str, Dict]:
+    """The process-wide pattern maps for one filter geometry."""
+    geometry = (num_cbfs, num_hashes, cbf_counters)
+    patterns = _PATTERN_CACHE.get(geometry)
+    if patterns is None:
+        patterns = {
+            "slots": {},      # (h1m, h2m) -> tuple[tuple[int, ...], ...]
+            "masks": {},      # (h1m, h2m) -> np.ndarray[uint64]
+            "key_slots": {},  # key -> shared slots tuple
+            "key_masks": {},  # key -> shared mask array
+        }
+        _PATTERN_CACHE[geometry] = patterns
+    return patterns
 
 
 @dataclass(slots=True)
@@ -73,7 +106,8 @@ class ApproximateAssociativeArray:
         num_ways: ways in the (single-set) array; Table I uses 512.
         num_cbfs: tag-array partitions, one CBF each (Table I: 128).
         num_hashes: hash functions per CBF (Table I: 3).
-        cbf_counters: counter-array length per CBF (Table I: 16).
+        cbf_counters: counter-array length per CBF (Table I: 16; must fit
+            the uint64 mask lane, i.e. <= 64).
         num_comparators: tags compared per polling iteration (4).
         exact: when True, model an ideal fully-associative search (single
             cycle, no CBFs) -- the comparison baseline of Figure 7b.
@@ -96,6 +130,9 @@ class ApproximateAssociativeArray:
             raise ValueError("num_cbfs must be in [1, num_ways]")
         if num_hashes < 1:
             raise ValueError("num_hashes must be >= 1")
+        if cbf_counters < 1 or cbf_counters > 64:
+            raise ValueError("cbf_counters must be in [1, 64] (one uint64 "
+                             "mask lane per group)")
         self.num_ways = num_ways
         self.num_cbfs = num_cbfs
         self.num_hashes = num_hashes
@@ -105,22 +142,14 @@ class ApproximateAssociativeArray:
         self.timing = NVMCBFTimingModel()
         self._group_size = (num_ways + num_cbfs - 1) // num_cbfs
 
-        self._counters = np.zeros((num_cbfs, cbf_counters), dtype=np.int16)
-        self._group_offsets = (
-            np.arange(num_cbfs, dtype=np.int64) * (_GROUP_SALT % cbf_counters)
-        ) % cbf_counters
-        self._hash_steps = np.arange(num_hashes, dtype=np.int64)
-        self._row_index = np.arange(num_cbfs, dtype=np.int64)[:, None]
-        #: (h1 mod m, h2 mod m) -> precomputed (F, H) index matrix
-        self._idx_cache: Dict[Tuple[int, int], np.ndarray] = {}
-        #: key -> precomputed index matrix; hashes are pure functions of
-        #: the key, so per-block memoization is exact (a search is priced
-        #: per lookup either way -- only the hash arithmetic is skipped).
-        #: Values are the shared _idx_cache matrices (at most
-        #: cbf_counters^2 distinct arrays); the key map itself is capped
-        #: so huge-footprint runs cannot grow it unboundedly.
-        self._key_idx_cache: Dict[int, np.ndarray] = {}
-        self._key_idx_cap = 1 << 16
+        #: 2-bit saturating counters, one row per group (plain ints: the
+        #: update loop touches at most ``num_hashes`` scalars per call)
+        self._counters: List[List[int]] = [
+            [0] * cbf_counters for _ in range(num_cbfs)
+        ]
+        #: per-group nonzero bitmask (see module docstring)
+        self._nonzero = np.zeros(num_cbfs, dtype=np.uint64)
+        self._patterns = _shared_patterns(num_cbfs, num_hashes, cbf_counters)
 
         self._way_block: List[int] = [-1] * num_ways
         self._block_way: Dict[int, int] = {}
@@ -139,26 +168,51 @@ class ApproximateAssociativeArray:
         h2 = _mix64(h1 ^ 0xDA942042E4DD58B5) | 1
         return h1 % self.cbf_counters, h2 % self.cbf_counters
 
-    def _index_matrix(self, key: int) -> np.ndarray:
-        """(num_cbfs, num_hashes) counter indices for *key* in each group."""
-        cached = self._key_idx_cache.get(key)
+    def _build_patterns(self, key: int) -> Tuple[tuple, np.ndarray]:
+        """Resolve (and memoise) *key*'s per-group slot/mask patterns."""
+        h1m, h2m = self._key_hashes(key)
+        residue = (h1m, h2m)
+        slots = self._patterns["slots"].get(residue)
+        if slots is None:
+            m = self.cbf_counters
+            salt_step = _GROUP_SALT % m
+            slots = tuple(
+                tuple(
+                    (h1m + (group * salt_step) % m + step * h2m) % m
+                    for step in range(self.num_hashes)
+                )
+                for group in range(self.num_cbfs)
+            )
+            mask_ints = []
+            for group_slots in slots:
+                bits = 0
+                for s in group_slots:
+                    bits |= 1 << s
+                mask_ints.append(bits)
+            masks = np.array(mask_ints, dtype=np.uint64)
+            self._patterns["slots"][residue] = slots
+            self._patterns["masks"][residue] = masks
+        masks = self._patterns["masks"][residue]
+        if len(self._patterns["key_slots"]) < _KEY_CACHE_CAP:
+            self._patterns["key_slots"][key] = slots
+            self._patterns["key_masks"][key] = masks
+        return slots, masks
+
+    def _key_slots(self, key: int) -> tuple:
+        cached = self._patterns["key_slots"].get(key)
         if cached is not None:
             return cached
-        h1m, h2m = self._key_hashes(key)
-        cached = self._idx_cache.get((h1m, h2m))
-        if cached is None:
-            cached = (
-                h1m
-                + self._group_offsets[:, None]
-                + self._hash_steps[None, :] * h2m
-            ) % self.cbf_counters
-            self._idx_cache[(h1m, h2m)] = cached
-        if len(self._key_idx_cache) < self._key_idx_cap:
-            self._key_idx_cache[key] = cached
-        return cached
+        return self._build_patterns(key)[0]
 
-    def _group_indices(self, key: int, group: int) -> np.ndarray:
-        return self._index_matrix(key)[group]
+    def _key_masks(self, key: int) -> np.ndarray:
+        cached = self._patterns["key_masks"].get(key)
+        if cached is not None:
+            return cached
+        return self._build_patterns(key)[1]
+
+    def _group_indices(self, key: int, group: int) -> tuple:
+        """Per-group counter-slot indices (test helper)."""
+        return self._key_slots(key)[group]
 
     def _group_of_way(self, way: int) -> int:
         return way // self._group_size
@@ -176,8 +230,9 @@ class ApproximateAssociativeArray:
 
     def group_test(self, block_addr: int, group: int) -> bool:
         """Membership test of a single group's CBF (test helper)."""
-        idx = self._group_indices(block_addr, group)
-        return bool((self._counters[group, idx] > 0).all())
+        row = self._counters[group]
+        return all(row[slot] > 0
+                   for slot in self._key_slots(block_addr)[group])
 
     # ------------------------------------------------------------------
     def search(self, block_addr: int) -> SearchResult:
@@ -191,18 +246,18 @@ class ApproximateAssociativeArray:
             return SearchResult(actual_way, 1, 1, 0)
 
         self.tests += 1
-        idx = self._index_matrix(block_addr)
-        values = self._counters[self._row_index, idx]
-        positives = np.flatnonzero((values > 0).all(axis=1))
+        key_masks = self._key_masks(block_addr)
+        positive = (self._nonzero & key_masks) == key_masks
 
         if actual_way is None:
             # A miss polls every positive group before concluding absent.
-            iterations = len(positives)
+            iterations = int(np.count_nonzero(positive))
             false_positives = iterations
         else:
             actual_group = self._group_of_way(actual_way)
-            # CBFs have no false negatives, so the group must be positive.
-            position = int(np.searchsorted(positives, actual_group))
+            # CBFs have no false negatives: the actual group is positive,
+            # and groups are polled in ascending index order.
+            position = int(np.count_nonzero(positive[:actual_group]))
             iterations = position + 1
             false_positives = position
 
@@ -213,19 +268,27 @@ class ApproximateAssociativeArray:
 
     # ------------------------------------------------------------------
     def _cbf_insert(self, block_addr: int, group: int) -> None:
-        counters = self._counters
-        for idx in self._group_indices(block_addr, group):
-            if counters[group, idx] < self.COUNTER_MAX:
-                counters[group, idx] += 1
+        row = self._counters[group]
+        for slot in self._key_slots(block_addr)[group]:
+            value = row[slot]
+            if value < self.COUNTER_MAX:
+                row[slot] = value + 1
+                if value == 0:
+                    self._nonzero[group] |= np.uint64(1 << slot)
         self.updates += 1
 
     def _cbf_remove(self, block_addr: int, group: int) -> None:
-        counters = self._counters
-        for idx in self._group_indices(block_addr, group):
+        row = self._counters[group]
+        for slot in self._key_slots(block_addr)[group]:
+            value = row[slot]
             # stuck counters stay at max (decrement would risk a false
             # negative -- see repro.core.bloom)
-            if 0 < counters[group, idx] < self.COUNTER_MAX:
-                counters[group, idx] -= 1
+            if 0 < value < self.COUNTER_MAX:
+                row[slot] = value - 1
+                if value == 1:
+                    self._nonzero[group] &= np.uint64(
+                        0xFFFFFFFFFFFFFFFF ^ (1 << slot)
+                    )
         self.updates += 1
 
     # ------------------------------------------------------------------

@@ -38,10 +38,12 @@ from repro.engine.spec import (
     SCALE_PRESETS,
     RunKey,
     RunSpec,
+    arena_for_spec,
     execute_spec,
     gpu_profile,
     scale_preset,
     spec_to_dict,
+    trace_key,
 )
 from repro.engine.store import ResultStore, default_store_path
 
@@ -55,6 +57,7 @@ __all__ = [
     "RunSpec",
     "SCALE_PRESETS",
     "SCHEMA_VERSION",
+    "arena_for_spec",
     "config_from_dict",
     "config_to_dict",
     "default_store_path",
@@ -66,4 +69,5 @@ __all__ = [
     "scale_preset",
     "spec_to_dict",
     "stderr_progress",
+    "trace_key",
 ]

@@ -12,12 +12,24 @@ to the same key.
 :func:`execute_spec` is the single execution path shared by the serial
 runner and the parallel worker pool, which is what makes parallel sweep
 results bit-identical to serial ones.
+
+Trace generation is factored out of execution: :func:`trace_key` hashes
+the subset of a spec that determines the workload trace (everything but
+the L1D config and the GPU timing profile), and :func:`arena_for_spec`
+compiles that trace exactly once per key into a
+:class:`~repro.workloads.arena.PackedTraceArena` -- every run sharing
+the key (a whole config sweep, every repeat in a benchmark loop) replays
+the same packed buffers.  Workers in a fork-style pool inherit the
+parent's arenas via copy-on-write; spawn-style workers rebuild them from
+the engine's on-disk spill files (see
+:meth:`~repro.engine.engine.ExperimentEngine.run_specs`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import pathlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
@@ -31,8 +43,9 @@ from repro.workloads.benchmarks import TRACE_PREFIX, benchmark
 from repro.workloads.trace import TraceScale
 
 __all__ = [
-    "GPU_PROFILES", "RunKey", "RunSpec", "SCALE_PRESETS", "execute_spec",
-    "gpu_profile", "scale_preset", "spec_to_dict",
+    "GPU_PROFILES", "RunKey", "RunSpec", "SCALE_PRESETS", "arena_for_spec",
+    "execute_spec", "gpu_profile", "scale_preset", "spec_to_dict",
+    "trace_key",
 ]
 
 #: named machine profiles a spec may reference
@@ -203,15 +216,91 @@ def spec_to_dict(spec: RunSpec) -> Dict:
     return payload
 
 
-def execute_spec(spec: RunSpec) -> SimulationResult:
-    """Run one simulation described by *spec* (the only execution path).
+def trace_key(spec: RunSpec) -> str:
+    """Content hash of the spec fields that determine its workload trace.
 
-    Builds the machine, generates the workload trace, simulates, and
-    attaches the energy report -- exactly what the serial runner did
-    before the engine existed, so results are identical either way.
+    This is :func:`spec_to_dict` minus the L1D config and the GPU timing
+    profile -- neither influences the instruction stream (the machine
+    *shape* that does, ``num_sms``/``scale``, is already resolved into
+    the spec).  Every run sharing the key replays one packed arena.
     """
+    payload = spec_to_dict(spec)
+    del payload["l1d"]
+    del payload["gpu_profile"]
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def arena_for_spec(spec: RunSpec, arena_dir=None):
+    """The packed trace arena for *spec*, compiled at most once per key.
+
+    Resolution order on an in-process cache miss:
+
+    1. a spill file ``<arena_dir>/<trace_key>.jsonl`` (the engine writes
+       these for spawn-style worker pools; ``REPRO_ARENA_DIR`` points
+       user runs at a persistent cross-process arena directory) -- a
+       spill that fails to load is ignored and the trace is regenerated;
+    2. the workload's kernel model, generated under the spec's
+       snapshotted trace salt and packed.
+
+    ``trace:<path>`` workloads never spill (the trace file itself is the
+    on-disk form; :mod:`repro.workloads.tracefile` memoises its parse).
+    """
+    import os
+
+    from repro.workloads.arena import PackedTraceArena, cached_arena
     from repro.workloads.kernels import KernelModel
 
+    key = trace_key(spec)
+    if arena_dir is None:
+        arena_dir = os.environ.get("REPRO_ARENA_DIR") or None
+    is_trace_workload = spec.workload.startswith(TRACE_PREFIX)
+
+    def build() -> PackedTraceArena:
+        if arena_dir is not None and not is_trace_workload:
+            from repro.workloads.tracefile import load_spilled_arena
+
+            spilled = load_spilled_arena(
+                pathlib.Path(arena_dir) / f"{key}.jsonl", spec
+            )
+            if spilled is not None:
+                return spilled
+        scale = scale_preset(spec.scale)
+        # generate under the spec's snapshotted salt: a worker process
+        # that re-imported the modules (spawn pools) must reproduce the
+        # submitting process's traces, not the module default's
+        previous_salt = KernelModel.TRACE_SALT
+        KernelModel.TRACE_SALT = spec.trace_salt
+        try:
+            model = benchmark(
+                spec.workload,
+                num_sms=spec.num_sms,
+                warps_per_sm=scale.warps_per_sm,
+                scale=scale,
+                seed=spec.seed,
+            )
+            arena = PackedTraceArena.from_model(model)
+        finally:
+            KernelModel.TRACE_SALT = previous_salt
+        if arena_dir is not None and not is_trace_workload:
+            from repro.workloads.tracefile import spill_arena
+
+            spill_arena(arena, pathlib.Path(arena_dir) / f"{key}.jsonl",
+                        spec)
+        return arena
+
+    return cached_arena(key, build)
+
+
+def execute_spec(spec: RunSpec, arena_dir=None) -> SimulationResult:
+    """Run one simulation described by *spec* (the only execution path).
+
+    Builds the machine, obtains the workload's packed trace arena
+    (compiled on first use, replayed from cache after -- see
+    :func:`arena_for_spec`; *arena_dir* optionally names a spill
+    directory for cross-process reuse), simulates, and attaches the
+    energy report.
+    """
     if spec.workload.startswith(TRACE_PREFIX) and spec.trace_sha256:
         from repro.workloads.tracefile import trace_sha256
 
@@ -226,38 +315,22 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     machine = gpu_profile(spec.gpu_profile).with_overrides(
         num_sms=spec.num_sms
     )
-    scale = scale_preset(spec.scale)
-    # apply the spec's snapshotted salt for the whole run (traces may be
-    # generated lazily while the simulator drains the warp streams): a
-    # worker process that re-imported the modules (spawn pools) must
-    # reproduce the submitting process's traces, not the module default's
-    previous_salt = KernelModel.TRACE_SALT
-    KernelModel.TRACE_SALT = spec.trace_salt
-    try:
-        model = benchmark(
-            spec.workload,
-            num_sms=machine.num_sms,
-            warps_per_sm=scale.warps_per_sm,
-            scale=scale,
-            seed=spec.seed,
-        )
-        # the model is authoritative for the machine shape: generated
-        # workloads echo the spec's values back, while trace replays
-        # carry their header's shape (which the spec's preset-named
-        # scale cannot express for external traces)
-        if model.num_sms != machine.num_sms:
-            machine = machine.with_overrides(num_sms=model.num_sms)
-        simulator = GPUSimulator(
-            machine,
-            l1d_factory=lambda: make_l1d(spec.l1d),
-            warp_streams=model.streams(),
-            warps_per_sm=model.warps_per_sm,
-        )
-        result = simulator.run(
-            workload_name=spec.workload, config_name=spec.l1d.name
-        )
-    finally:
-        KernelModel.TRACE_SALT = previous_salt
+    arena = arena_for_spec(spec, arena_dir=arena_dir)
+    # the arena is authoritative for the machine shape: generated
+    # workloads echo the spec's values back, while trace replays carry
+    # their header's shape (which the spec's preset-named scale cannot
+    # express for external traces)
+    if arena.num_sms != machine.num_sms:
+        machine = machine.with_overrides(num_sms=arena.num_sms)
+    simulator = GPUSimulator(
+        machine,
+        l1d_factory=lambda: make_l1d(spec.l1d),
+        warps_per_sm=arena.warps_per_sm,
+        arena=arena,
+    )
+    result = simulator.run(
+        workload_name=spec.workload, config_name=spec.l1d.name
+    )
     result.energy = compute_energy(
         result,
         l1d_params=l1d_energy_params(spec.l1d.name),

@@ -14,6 +14,17 @@ Results live in an append-only JSON-lines file (one record per line):
 * **append-only writes** -- a put appends one line and updates the
   in-memory index; the newest record for a key wins on load, so
   re-putting a key is harmless.
+* **batched appends** -- a bare :meth:`ResultStore.put` opens, appends
+  and closes the file (maximally crash-tolerant: the line is durable
+  the moment put returns).  Inside a :meth:`ResultStore.batched` block
+  -- which the experiment engine wraps around every sweep -- puts write
+  through one held handle and the store flushes every ``flush_every``
+  records (the engine passes its pool chunk size) and at block exit, so
+  a sweep of N runs costs one open/close instead of N.  Crash tolerance
+  inside a batch weakens only boundedly: a killed process loses at most
+  the puts since the last flush (plus whatever the OS had not yet made
+  durable -- the store never fsyncs, batched or not), and a torn final
+  line is skipped on the next load rather than poisoning the file.
 * **corruption tolerance** -- unparsable lines (e.g. a truncated final
   line from a killed process) are skipped, never fatal.
 
@@ -25,10 +36,11 @@ disables the default store.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from repro.engine.serialize import (
     SCHEMA_VERSION,
@@ -80,6 +92,9 @@ class ResultStore:
         self._index: Dict[str, dict] = {}
         self._stale_records = 0
         self._loaded = False
+        self._batch_handle = None
+        self._batch_pending = 0
+        self._batch_flush_every = 1
 
     # ------------------------------------------------------------------
     def _ensure_loaded(self) -> None:
@@ -115,7 +130,12 @@ class ResultStore:
         return result_from_dict(record["result"])
 
     def put(self, spec: RunSpec, result: SimulationResult) -> RunKey:
-        """Persist one result (append + index update); returns its key."""
+        """Persist one result (append + index update); returns its key.
+
+        Outside a :meth:`batched` block the append is open-write-close
+        (durable on return); inside one it goes through the held handle
+        (flushed per ``flush_every`` puts and at block exit).
+        """
         self._ensure_loaded()
         key = spec.key()
         record = {
@@ -124,11 +144,45 @@ class ResultStore:
             "spec": spec_to_dict(spec),
             "result": result_to_dict(result),
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._batch_handle is not None:
+            self._batch_handle.write(line)
+            self._batch_pending += 1
+            if self._batch_pending >= self._batch_flush_every:
+                self.flush()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
         self._index[key.digest] = record
         return key
+
+    def flush(self) -> None:
+        """Push batched writes to the OS (no-op outside a batch)."""
+        if self._batch_handle is not None:
+            self._batch_handle.flush()
+            self._batch_pending = 0
+
+    @contextlib.contextmanager
+    def batched(self, flush_every: int = 16) -> Iterator["ResultStore"]:
+        """Hold one append handle open across many :meth:`put` calls.
+
+        Reentrant: nested blocks reuse the outer handle (the outer block
+        owns closing it).  See the module docstring for the
+        crash-tolerance semantics.
+        """
+        if self._batch_handle is not None:
+            yield self  # nested: the outer batch owns the handle
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._batch_flush_every = max(1, flush_every)
+        self._batch_handle = self.path.open("a", encoding="utf-8")
+        try:
+            yield self
+        finally:
+            handle, self._batch_handle = self._batch_handle, None
+            self._batch_pending = 0
+            handle.close()
 
     # ------------------------------------------------------------------
     def __contains__(self, key: Union[str, RunKey]) -> bool:
@@ -148,7 +202,15 @@ class ResultStore:
 
     def compact(self) -> int:
         """Rewrite the file keeping only current-schema records (one per
-        key); returns the number of live records."""
+        key); returns the number of live records.
+
+        Raises:
+            RuntimeError: inside a :meth:`batched` block (the rewrite
+                would orphan the held append handle and silently drop
+                its subsequent writes).
+        """
+        if self._batch_handle is not None:
+            raise RuntimeError("compact() is not allowed inside batched()")
         self._ensure_loaded()
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -40,18 +40,17 @@ def coalesce_count(addresses: Sequence[int]) -> int:
 
 
 def warp_addresses(
-    base: int, stride: int, num_threads: int = 32, element_size: int = 4
+    base: int, stride: int, num_threads: int = 32
 ) -> List[int]:
     """Per-thread addresses for a strided warp access.
 
+    The lane address is ``base + lane * stride``.
+
     Args:
         base: address touched by lane 0.
-        stride: byte distance between consecutive lanes (``element_size``
-            for unit-stride/coalesced access; a row pitch for column
-            walks).
+        stride: byte distance between consecutive lanes (the element
+            size -- typically 4 -- for unit-stride/coalesced access; a
+            row pitch for column walks).
         num_threads: active lanes.
-        element_size: unused except for documentation symmetry; the lane
-            address is ``base + lane * stride``.
     """
-    del element_size  # lane addresses depend only on base and stride
     return [base + lane * stride for lane in range(num_threads)]

@@ -25,6 +25,12 @@ SM -- no per-event varargs callback indirection.  Per-transaction load
 *completions* are not events at all; the LSU retires hits eagerly (see
 :mod:`repro.gpu.sm`).
 
+Warps consume a **packed trace arena** (columnar op/transaction buffers,
+:mod:`repro.workloads.arena`): pass one via ``arena`` to replay a
+pre-compiled trace with zero per-run generation cost, or pass the
+classic ``warp_streams`` callable and the constructor packs it once.
+Either way the simulation loop touches only flat arrays.
+
 Each SM owns a **private** L1D instance (built by the supplied factory),
 mirroring the per-SM L1D caches of the real machine; the memory subsystem
 (interconnect + L2 + DRAM) is shared.
@@ -45,6 +51,7 @@ from repro.gpu.stats import (
 )
 from repro.gpu.warp import Warp
 from repro.memory.subsystem import MemorySubsystem
+from repro.workloads.arena import PackedTraceArena
 from repro.workloads.trace import WarpInstruction
 
 __all__ = [
@@ -66,19 +73,26 @@ class GPUSimulator:
         l1d_factory: zero-argument callable returning a fresh L1D model;
             called once per SM.
         warp_streams: callable ``(sm_id, warp_id) -> iterator`` producing
-            each warp's instruction stream.
+            each warp's instruction stream; packed into a private arena
+            at construction.  Ignored when *arena* is given.
         warps_per_sm: active warps per SM (defaults to the machine limit).
         max_cycles: safety valve; the run aborts (with a clear error)
             if the workload has not drained by then.
+        arena: a pre-packed trace arena to replay (its shape must match
+            the machine being built); the compile-once path used by
+            :func:`~repro.engine.spec.execute_spec`.
     """
 
     def __init__(
         self,
         config: GPUConfig,
         l1d_factory: Callable[[], L1DCacheModel],
-        warp_streams: Callable[[int, int], Iterable[WarpInstruction]],
+        warp_streams: Optional[
+            Callable[[int, int], Iterable[WarpInstruction]]
+        ] = None,
         warps_per_sm: Optional[int] = None,
         max_cycles: int = 50_000_000,
+        arena: Optional[PackedTraceArena] = None,
     ) -> None:
         self.config = config
         self.memory = MemorySubsystem(config)
@@ -96,10 +110,24 @@ class GPUSimulator:
                 f"{active_warps} warps exceed the machine limit "
                 f"{config.warps_per_sm}"
             )
+        if arena is None:
+            if warp_streams is None:
+                raise ValueError("need either warp_streams or arena")
+            arena = PackedTraceArena.from_streams(
+                "<adhoc>", config.num_sms, active_warps, warp_streams
+            )
+        elif (arena.num_sms != config.num_sms
+              or arena.warps_per_sm != active_warps):
+            raise ValueError(
+                f"arena shape {arena.num_sms}x{arena.warps_per_sm} does "
+                f"not match the machine ({config.num_sms} SMs x "
+                f"{active_warps} warps)"
+            )
+        self.arena = arena
         self.sms: List[SM] = []
         for sm_id in range(config.num_sms):
             warps = [
-                Warp(warp_id, iter(warp_streams(sm_id, warp_id)))
+                Warp.from_arena(warp_id, arena, sm_id)
                 for warp_id in range(active_warps)
             ]
             self.sms.append(
@@ -208,7 +236,8 @@ class GPUSimulator:
         max_cycles = self.max_cycles
 
         while True:
-            self._run_due_events()
+            if events and events[0][0] <= self.cycle:
+                self._run_due_events()
 
             cycle = self.cycle
             while wake_heap and wake_heap[0][0] <= cycle:

@@ -2,23 +2,34 @@
 
 Each SM owns a private L1D, up to 48 warps and one issue port
 (``issue_width`` = 1, matching the in-order shader cores of Section II-A).
-Per cycle the scheduler picks one ready warp:
+Per cycle the scheduler picks one ready warp and the issue path reads
+the warp's **packed trace cursor** directly (columnar kind/pc/count
+buffers plus the shared transaction pool -- see
+:mod:`repro.workloads.arena`), so no ``WarpInstruction`` object exists
+on the hot path:
 
 * a **compute block** occupies the issue port for ``count`` cycles and
   credits ``count`` instructions -- identical IPC accounting to issuing
   the instructions one by one, at O(1) simulation cost;
 * a **memory instruction** hands its coalesced transactions to the LSU
-  as one batch.  The LSU still models one L1D presentation per cycle
-  (transaction ``k`` arrives at ``cycle + k``), but transactions that
-  hit retire *eagerly* through
-  :meth:`~repro.gpu.warp.Warp.complete_transaction_at` -- the warp's
-  wake-up cycle accumulates the latest data-ready cycle instead of one
-  scheduler event per transaction.  Loads block the warp until every
-  transaction's data returns; stores retire once the L1D accepts them
-  (write-back semantics -- the store's cost surfaces as bank occupancy
-  and write-backs, not as warp stall).  Only genuinely asynchronous
-  work -- off-chip fills and hazard retries -- goes through the event
-  wheel.
+  as one batch read straight from the arena's transaction pool.  The
+  LSU still models one L1D presentation per cycle (transaction ``k``
+  arrives at ``cycle + k``), but transactions that hit retire *eagerly*
+  through :meth:`~repro.gpu.warp.Warp.complete_transaction_at` -- the
+  warp's wake-up cycle accumulates the latest data-ready cycle instead
+  of one scheduler event per transaction.  Loads block the warp until
+  every transaction's data returns; stores retire once the L1D accepts
+  them (write-back semantics -- the store's cost surfaces as bank
+  occupancy and write-backs, not as warp stall).  Only genuinely
+  asynchronous work -- off-chip fills and hazard retries -- goes
+  through the event wheel.
+
+The LSU front-end is **allocation-free on the hit path**:
+:class:`~repro.cache.request.MemoryRequest` objects are pooled per SM
+and recycled as soon as the cache is done with them (hits and bypasses
+immediately; miss-path requests when their fill's completion list is
+processed).  The pool never shrinks below the SM's natural outstanding
+depth, so steady state creates no request objects at all.
 
 ``RESERVATION_FAIL`` results retry after ``RETRY_INTERVAL`` cycles, which
 is how structural hazards (MSHR full, tag-queue full, swap-buffer full,
@@ -37,7 +48,7 @@ from repro.cache.interface import (
 from repro.cache.request import AccessType, MemoryRequest
 from repro.gpu.scheduler import WarpScheduler
 from repro.gpu.warp import Warp
-from repro.workloads.trace import COMPUTE, LOAD, WarpInstruction
+from repro.workloads.trace import COMPUTE, LOAD
 
 __all__ = [
     "MAX_RETRIES", "SM",
@@ -74,6 +85,9 @@ class SM:
         self.store_transactions = 0
         self.retries = 0
         self._done = False
+        #: recycled MemoryRequest objects (hit-path allocation freedom);
+        #: per-SM so ``sm_id`` never needs rewriting on reuse
+        self._request_pool: List[MemoryRequest] = []
 
     # ------------------------------------------------------------------
     @property
@@ -90,16 +104,27 @@ class SM:
         """Earliest future cycle at which this SM could issue.
 
         None when every remaining warp is blocked on memory (an event will
-        wake them) or the SM is done.
+        wake them) or the SM is done.  One fused pass determines both
+        (the :attr:`done` property would walk the warps a second time).
         """
-        if self.done:
+        if self._done:
             return None
         best: Optional[int] = None
+        alive = False
         for warp in self.warps:
-            if not warp.done and warp.outstanding == 0:
+            outstanding = warp.outstanding
+            if warp.done:
+                if outstanding:
+                    alive = True  # drained stream, data still in flight
+                continue
+            alive = True
+            if outstanding == 0:
                 ready_at = warp.ready_at
                 if best is None or ready_at < best:
                     best = ready_at
+        if not alive:
+            self._done = True
+            return None
         if best is None:
             return None
         return max(best, self.port_busy_until, cycle)
@@ -112,28 +137,28 @@ class SM:
         warp = self.scheduler.pick(self.warps, cycle)
         if warp is None:
             return False
-        instruction = warp.next_instruction()
-        if instruction is None:
+        index = warp.op_index
+        if index >= warp.op_end:
+            # exhausted cursor consulted for the first time: the warp
+            # retires here, exactly like the lazy stream's StopIteration
+            warp.done = True
             return False
+        warp.op_index = index + 1
         warp.last_issue = cycle
-        if instruction.kind == COMPUTE:
-            self._issue_compute(warp, instruction, cycle)
+        kind = warp.op_kind[index]
+        if kind == COMPUTE:
+            span = warp.op_count[index]
+            self.port_busy_until = cycle + span
+            self.issue_busy_cycles += span
+            warp.ready_at = cycle + span
+            warp.instructions_issued += span
+            self.instructions += span
         else:
-            self._issue_memory(warp, instruction, cycle)
+            self._issue_memory(warp, kind, index, cycle)
         return True
 
-    def _issue_compute(
-        self, warp: Warp, instruction: WarpInstruction, cycle: int
-    ) -> None:
-        span = instruction.count
-        self.port_busy_until = cycle + span
-        self.issue_busy_cycles += span
-        warp.ready_at = cycle + span
-        warp.instructions_issued += span
-        self.instructions += span
-
     def _issue_memory(
-        self, warp: Warp, instruction: WarpInstruction, cycle: int
+        self, warp: Warp, kind: int, index: int, cycle: int
     ) -> None:
         self.port_busy_until = cycle + 1
         self.issue_busy_cycles += 1
@@ -141,45 +166,52 @@ class SM:
         warp.memory_instructions += 1
         self.instructions += 1
 
-        is_load = instruction.kind == LOAD
-        transactions = instruction.transactions
-        if not transactions:
+        txn_off = warp.txn_off
+        start = txn_off[index]
+        end = txn_off[index + 1]
+        if start == end:
             warp.ready_at = cycle + 1
             return
-        if is_load:
+        count = end - start
+        if kind == LOAD:
             access_type = AccessType.LOAD
             waiting_warp: Optional[Warp] = warp
-            warp.block_on(len(transactions))
-            self.load_transactions += len(transactions)
+            warp.block_on(count)
+            self.load_transactions += count
         else:
             # stores retire at issue; bank pressure is modelled in the cache
             access_type = AccessType.STORE
             waiting_warp = None
             warp.ready_at = cycle + 1
-            self.store_transactions += len(transactions)
+            self.store_transactions += count
 
         # batch the whole coalesced access: the LSU presents one
         # transaction per cycle, hits retire eagerly, and only misses and
-        # hazard retries touch the event wheel
-        pc = instruction.pc
-        sm_id = self.sm_id
+        # hazard retries touch the event wheel.  Transactions are read as
+        # a slice of the arena's shared address pool.
+        pc = warp.op_pc[index]
         warp_id = warp.warp_id
+        pool = self._request_pool
         present = self._present
         arrival = cycle
-        for block_addr in transactions:
-            present(
-                MemoryRequest(
+        for block_addr in warp.txns[start:end]:
+            if pool:
+                request = pool.pop()
+                request.address = block_addr << 7
+                request.access_type = access_type
+                request.pc = pc
+                request.warp_id = warp_id
+                request.issue_cycle = arrival
+            else:
+                request = MemoryRequest(
                     address=block_addr << 7,
                     access_type=access_type,
                     pc=pc,
-                    sm_id=sm_id,
+                    sm_id=self.sm_id,
                     warp_id=warp_id,
                     issue_cycle=arrival,
-                ),
-                waiting_warp,
-                arrival,
-                0,
-            )
+                )
+            present(request, waiting_warp, arrival, 0)
             arrival += 1
 
     # ------------------------------------------------------------------
@@ -190,7 +222,12 @@ class SM:
         cycle: int,
         attempts: int,
     ) -> None:
-        """Present one transaction to the L1D, retrying on hazards."""
+        """Present one transaction to the L1D, retrying on hazards.
+
+        Requests the cache is finished with (hits and bypasses) return
+        to the SM's pool here; miss-path requests stay referenced by the
+        MSHR until :meth:`_handle_fill` recycles them.
+        """
         if attempts > MAX_RETRIES:
             raise RuntimeError(
                 f"livelock: transaction 0x{request.address:x} on SM "
@@ -208,6 +245,7 @@ class SM:
                 result.ready_cycle
             ):
                 sim.schedule_wake(waiting_warp.ready_at, self.sm_id)
+            self._request_pool.append(request)
             return
         if outcome is AccessOutcome.HIT_PENDING:
             # the fill's completion list will include this request
@@ -232,12 +270,14 @@ class SM:
                     waiting_warp.complete_transaction_at(completion)
                 ):
                     sim.schedule_wake(waiting_warp.ready_at, self.sm_id)
+            self._request_pool.append(request)
             return
         # RESERVATION_FAIL: the LSU cannot hand the transaction over, so
         # the in-order memory pipeline backs up and the SM's issue port
         # stalls until the retry -- this is how cache thrashing (MSHR and
         # way exhaustion) throttles the whole SM, the paper's motivating
-        # pathology for the small L1-SRAM.
+        # pathology for the small L1-SRAM.  The request rides the retry
+        # event and re-enters here, so it is not recycled yet.
         self.retries += 1
         retry_at = cycle + RETRY_INTERVAL
         if retry_at > self.port_busy_until:
@@ -260,3 +300,6 @@ class SM:
                 warp = warps[request.warp_id]
                 if warp.complete_transaction_at(ready):
                     sim.schedule_wake(warp.ready_at, sm_id)
+        # the MSHR entry is released; its requests (loads and stores
+        # alike) are dead and return to the pool
+        self._request_pool.extend(fill.completed)

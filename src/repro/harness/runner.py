@@ -14,12 +14,19 @@ pytest session or CLI invocation regenerates figures without a single
 new simulation.  :meth:`Runner.prefetch` batches pending runs through
 the parallel :class:`~repro.engine.engine.ExperimentEngine`.
 
+Trace generation is decoupled from all of this: every fresh run obtains
+its workload's packed trace through the process-wide arena cache
+(:func:`~repro.engine.spec.arena_for_spec`), so a config sweep over one
+workload -- the shape of every figure matrix -- compiles the trace once
+and replays it per config.
+
 ``default_runner()`` returns a process-wide instance, which is what the
 pytest bench session uses.
 """
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.factory import L1DConfig
@@ -196,13 +203,21 @@ class Runner:
                  for config in config_names],
                 workers=workers,
             )
-        return {
-            workload: {
-                config: self.run(config, workload)
-                for config in config_names
+        # workload-major iteration keeps one packed arena hot per row;
+        # the batched store turns the row of fresh puts into appends on
+        # one held handle instead of an open/close per run
+        batch = (
+            self.store.batched() if self.store is not None
+            else contextlib.nullcontext()
+        )
+        with batch:
+            return {
+                workload: {
+                    config: self.run(config, workload)
+                    for config in config_names
+                }
+                for workload in workload_names
             }
-            for workload in workload_names
-        }
 
     def cache_size(self) -> int:
         return len(self._cache)

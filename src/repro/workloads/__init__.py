@@ -20,6 +20,10 @@ Beyond the paper's 21 workloads the package is an *open platform*:
 * :mod:`repro.workloads.tracefile` -- schema-versioned JSONL trace
   export/import; an imported trace replays bit-identically through the
   unmodified GPU/cache stack (``repro trace export/import``).
+* :mod:`repro.workloads.arena` -- the compile-once columnar trace form
+  the simulator replays; one packed arena per trace identity is shared
+  across runs, worker pools and (via spills) processes
+  (ARCHITECTURE.md, "Trace lifecycle").
 """
 
 from repro.workloads.analysis import (
@@ -39,6 +43,11 @@ from repro.workloads.registry import (
     REGISTRY,
     WorkloadRegistry,
     register_workload,
+)
+from repro.workloads.arena import (
+    PackedTraceArena,
+    arena_cache_stats,
+    reset_arena_cache,
 )
 from repro.workloads.suites import SUITES, all_suites, suite_of
 from repro.workloads.trace import (
@@ -64,6 +73,7 @@ __all__ = [
     "COMPUTE",
     "KernelModel",
     "LOAD",
+    "PackedTraceArena",
     "REGISTRY",
     "ReadLevelBreakdown",
     "STORE",
@@ -76,6 +86,7 @@ __all__ = [
     "WorkloadTrace",
     "all_benchmarks",
     "all_suites",
+    "arena_cache_stats",
     "benchmark",
     "benchmark_names",
     "classify_block",
@@ -86,6 +97,7 @@ __all__ = [
     "read_level_analysis",
     "register_workload",
     "replay_kernel",
+    "reset_arena_cache",
     "store_instruction",
     "suite_of",
     "trace_sha256",

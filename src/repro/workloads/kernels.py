@@ -158,6 +158,14 @@ class KernelModel(abc.ABC):
         """Fully expand one warp's stream (analysis and tests)."""
         return list(self.warp_stream(sm_id, warp_id))
 
+    def pack(self):
+        """Compile every warp stream into a columnar
+        :class:`~repro.workloads.arena.PackedTraceArena` (the form the
+        simulator replays; see ``ARCHITECTURE.md``, "Trace lifecycle")."""
+        from repro.workloads.arena import PackedTraceArena
+
+        return PackedTraceArena.from_model(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"{type(self).__name__}(sms={self.num_sms}, "
