@@ -1,0 +1,75 @@
+"""Design-space exploration over the wire: the simulation service.
+
+Boots the HTTP job service in-process, submits the same sweep twice
+from a plain ``urllib`` client, and shows the second submission being
+answered entirely from the result store -- zero fresh simulations --
+thanks to content-addressed run keys and single-flight coalescing.
+Equivalent CLI::
+
+    repro serve --port 8177 --store /tmp/fuse-store.jsonl &
+    repro submit --configs L1-SRAM,Hybrid,Dy-FUSE --workloads ATAX,BICG \
+        --scale smoke --sms 2        # cold: simulates
+    repro submit --configs L1-SRAM,Hybrid,Dy-FUSE --workloads ATAX,BICG \
+        --scale smoke --sms 2        # warm: store_hits == total
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.harness.report import format_table
+from repro.service import BackgroundService, ServiceClient
+
+CONFIGS = ["L1-SRAM", "Hybrid", "Dy-FUSE"]
+WORKLOADS = ["ATAX", "BICG"]
+
+
+def submit_and_report(client: ServiceClient) -> dict:
+    snapshot = client.run_to_completion(
+        CONFIGS, WORKLOADS, scale="smoke", num_sms=2,
+    )
+    print(
+        f"job {snapshot['job'][:16]} [{snapshot['state']}]: "
+        f"{snapshot['total']} runs -> {snapshot['store_hits']} from store, "
+        f"{snapshot['fresh']} fresh, {snapshot['coalesced']} coalesced"
+    )
+    return snapshot
+
+
+def main() -> None:
+    store_path = Path(tempfile.mkdtemp()) / "results.jsonl"
+    with BackgroundService(store_path=store_path, workers=2) as service:
+        client = ServiceClient(service.url)
+        print(f"service up at {service.url}")
+
+        print("\n-- first submission (cold store: simulates)")
+        cold = submit_and_report(client)
+
+        print("\n-- identical resubmission (warm store: zero simulations)")
+        warm = submit_and_report(client)
+        assert warm["store_hits"] == warm["total"], "warm run re-simulated!"
+
+        # fetch one result by its content-addressed run key and show the
+        # headline metric -- any client that knows the key can do this,
+        # no job required
+        rows = []
+        for run in cold["runs"]:
+            record = client.result(run["key"])
+            result = record["result"]
+            rows.append([
+                run["workload"], run["config"],
+                result["instructions"] / result["cycles"],
+            ])
+        print()
+        print(format_table(
+            ["workload", "config", "IPC"], rows,
+            title="Results fetched by run key (GET /v1/results)",
+        ))
+
+        print("\n-- service metrics")
+        for line in client.metrics().splitlines():
+            if "store_hit_rate" in line or "runs_" in line:
+                print(line)
+
+
+if __name__ == "__main__":
+    main()

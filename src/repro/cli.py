@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Six commands cover the workflows a downstream user reaches for first:
+Nine commands cover the workflows a downstream user reaches for first:
 
 * ``list``    -- show the available L1D configurations and every
   registered workload (Table II, the DNN suite, user registrations).
@@ -22,6 +22,13 @@ Six commands cover the workflows a downstream user reaches for first:
 * ``profile`` -- simulate one pair under :mod:`cProfile` and print the
   top entries plus simulated-cycles/sec (the simulator's own speed, not
   the model's).
+* ``serve``   -- run the HTTP job service (``docs/service-api.md``):
+  sweeps over the wire, single-flight dedup, results served from the
+  store.
+* ``submit``  -- send a sweep to a running service and stream its
+  progress to completion (the client side of ``serve``).
+* ``store``   -- operator tooling for the result store: ``info``,
+  ``compact``, ``path``.
 """
 
 from __future__ import annotations
@@ -51,8 +58,7 @@ from repro.workloads.benchmarks import (
     benchmark_class,
     workload_names,
 )
-from repro.workloads.registry import REGISTRY, ensure_builtin_workloads
-from repro.workloads.suites import all_suites, suite_of
+from repro.workloads.suites import resolve_workloads, suite_of
 
 __all__ = [
     "main",
@@ -179,6 +185,96 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("workload", help="benchmark name (see 'list')")
     _add_profile_args(profile)
     _add_machine_args(profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP simulation service (see docs/service-api.md)",
+    )
+    serve.add_argument(
+        "--host", default=None,
+        help="bind address (default: REPRO_SERVICE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port, 0 for ephemeral (default: REPRO_SERVICE_PORT "
+             "or 8177)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="engine worker processes (default: REPRO_WORKERS or CPU "
+             "count)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=None,
+        help="max jobs waiting before 429 (default: REPRO_SERVICE_QUEUE "
+             "or 32)",
+    )
+    serve.add_argument(
+        "--active", type=int, default=None,
+        help="max jobs executing concurrently (default: "
+             "REPRO_SERVICE_ACTIVE or 1)",
+    )
+    serve.add_argument(
+        "--store", default=None,
+        help="result-store path (default: REPRO_STORE env or "
+             "~/.cache/repro/results.jsonl)",
+    )
+    serve.add_argument(
+        "--no-store", action="store_true",
+        help="serve without a persistent store (in-memory dedup only)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running service and follow it",
+    )
+    submit.add_argument(
+        "--url", default=None,
+        help="service base URL (default: REPRO_SERVICE_URL or "
+             "http://127.0.0.1:8177)",
+    )
+    submit.add_argument(
+        "--configs",
+        default="L1-SRAM,By-NVM,Hybrid,Base-FUSE,FA-FUSE,Dy-FUSE",
+        help="comma-separated configuration names",
+    )
+    submit.add_argument(
+        "--workloads", default="all",
+        help="comma-separated workload names, suite names, trace:<path> "
+             "entries, or 'all'",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for completion (default 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="emit the final job snapshot as JSON instead of a table",
+    )
+    submit.add_argument(
+        "--quiet", action="store_true", help="suppress the progress ticker",
+    )
+    _add_machine_args(submit)
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="inspect or maintain the persistent result store",
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("info", "record counts, schema version and on-disk size"),
+        ("compact", "rewrite the file keeping one live record per key"),
+        ("path", "print the resolved store path"),
+    ):
+        entry = store_sub.add_parser(name, help=help_text)
+        entry.add_argument(
+            "--store", default=None,
+            help="result-store path (default: REPRO_STORE env or "
+                 "~/.cache/repro/results.jsonl)",
+        )
     return parser
 
 
@@ -410,37 +506,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_workloads(raw: str) -> List[str]:
-    """Expand a ``--workloads`` value into concrete workload names.
-
-    ``all`` means every registered workload; tokens naming a suite
-    (``DNN``, ``PolyBench``, ...) expand to the suite's members; an
-    exact workload name wins over a same-named suite; ``trace:<path>``
-    entries pass through for trace replay.
-    """
-    if raw.strip().lower() == "all":
-        return workload_names()
-    ensure_builtin_workloads()
-    suites = all_suites()
-    out: List[str] = []
-    for token in raw.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        if token.startswith(TRACE_PREFIX) or token in REGISTRY:
-            out.append(token)
-        elif token in suites:
-            out.extend(suites[token])
-        else:
-            out.append(token)  # unknown: surfaces as a per-run error
-    # overlapping tokens (a suite plus one of its members) collapse to
-    # one entry so runs are neither re-submitted nor double-reported
-    return list(dict.fromkeys(out))
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = [c.strip() for c in args.configs.split(",") if c.strip()]
-    workloads = _resolve_workloads(args.workloads)
+    workloads = resolve_workloads(args.workloads)
     for config in configs:
         l1d_config(config)  # fail fast on unknown names
 
@@ -536,6 +604,148 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.server import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        build_service,
+        env_int,
+        serve,
+    )
+
+    host = args.host or os.environ.get("REPRO_SERVICE_HOST") or DEFAULT_HOST
+    port = (
+        args.port if args.port is not None
+        else env_int("REPRO_SERVICE_PORT", DEFAULT_PORT)
+    )
+    service = build_service(
+        host=host, port=port, store_path=args.store, no_store=args.no_store,
+        workers=args.workers, max_queue=args.queue, max_active=args.active,
+    )
+    store = service.scheduler.engine.store
+
+    def announce(svc) -> None:
+        print(
+            f"repro service on http://{svc.host}:{svc.port} "
+            f"(workers {svc.scheduler.engine.workers}, "
+            f"queue {svc.scheduler.max_queue}, "
+            f"store {store.path if store is not None else 'disabled'})",
+            flush=True,
+        )
+
+    serve(service, announce=announce)
+    print("drained; bye")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    url = (
+        args.url or os.environ.get("REPRO_SERVICE_URL")
+        or "http://127.0.0.1:8177"
+    )
+    client = ServiceClient(url)
+
+    def on_event(name: str, payload: dict) -> None:
+        if args.quiet:
+            return
+        if name == "run":
+            sys.stderr.write(
+                f"\r[submit] {payload['completed']}/{payload['total']} "
+                f"({payload['source']})   "
+            )
+        elif name == "done":
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    try:
+        snapshot = client.run_to_completion(
+            args.configs, args.workloads, gpu_profile=args.gpu,
+            scale=args.scale, seed=args.seed, num_sms=args.sms,
+            timeout=args.timeout, on_event=on_event,
+        )
+    except (ServiceError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True))
+    else:
+        rows = [
+            [run["workload"], run["config"],
+             run["source"] or run["state"], run["key"][:16]]
+            for run in snapshot.get("runs", [])
+        ]
+        print(format_table(
+            ["workload", "config", "source", "key"], rows,
+            title=f"Job {snapshot['job'][:16]} [{snapshot['state']}] "
+                  f"via {url}",
+        ))
+        print(
+            f"\n{snapshot['total']} runs: {snapshot['store_hits']} from "
+            f"store, {snapshot['fresh']} fresh, "
+            f"{snapshot['coalesced']} coalesced, "
+            f"{snapshot['errors']} failed "
+            f"({snapshot['elapsed_s']:.2f}s)"
+        )
+    failed = snapshot["state"] == "failed" or snapshot["errors"] > 0
+    for run in snapshot.get("runs", []):
+        if run.get("error"):
+            print(
+                f"error: {run['config']} on {run['workload']}:\n"
+                f"{run['error']}",
+                file=sys.stderr,
+            )
+    return 1 if failed else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    path = args.store if args.store is not None else default_store_path()
+    if not path:
+        print(
+            "error: no store configured (REPRO_STORE is empty and no "
+            "--store given)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store_command == "path":
+        print(path)
+        return 0
+    store = ResultStore(path)
+    if args.store_command == "info":
+        info = store.info()
+        print(format_table(
+            ["field", "value"],
+            [[key, info[key]] for key in (
+                "path", "records", "stale_records", "schema_version",
+                "size_bytes",
+            )],
+            title="Result store",
+        ))
+        return 0
+    # compact: rewrite keeping one live record per key, dropping
+    # stale-schema and superseded records
+    before = store.info()
+    try:
+        with store.path.open("r", encoding="utf-8") as handle:
+            raw_records = sum(1 for line in handle if line.strip())
+    except OSError:
+        raw_records = 0
+    live = store.compact()
+    after = store.info()
+    print(
+        f"compacted {store.path}: {live} live records, "
+        f"{max(0, raw_records - live)} dropped (stale or superseded), "
+        f"{before['size_bytes']} -> {after['size_bytes']} bytes"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -552,6 +762,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "store":
+            return _cmd_store(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

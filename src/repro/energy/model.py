@@ -204,7 +204,7 @@ def compute_energy(
     )
     report.dram_nj = (mem.dram_reads + mem.dram_writes) * consts.dram_access_nj
     report.network_nj = (
-        (mem.request_flits + mem.response_flits)
+        (mem.request_flits + mem.response_flits + mem.writeback_flits)
         * net_hops
         * consts.network_flit_hop_nj
     )

@@ -21,6 +21,7 @@ Typical use::
 
 from repro.engine.engine import (
     ExperimentEngine,
+    OutcomeCallback,
     ProgressEvent,
     RunOutcome,
     default_workers,
@@ -50,6 +51,7 @@ from repro.engine.store import ResultStore, default_store_path
 __all__ = [
     "ExperimentEngine",
     "GPU_PROFILES",
+    "OutcomeCallback",
     "ProgressEvent",
     "ResultStore",
     "RunKey",

@@ -40,6 +40,7 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import signal
 import tempfile
 import time
 import traceback
@@ -51,8 +52,9 @@ from repro.engine.store import ResultStore
 from repro.gpu.stats import SimulationResult
 
 __all__ = [
-    "ExperimentEngine", "ProgressCallback", "ProgressEvent", "RunOutcome",
-    "WORKERS_ENV", "default_workers", "stderr_progress",
+    "ExperimentEngine", "OutcomeCallback", "ProgressCallback",
+    "ProgressEvent", "RunOutcome", "WORKERS_ENV", "default_workers",
+    "stderr_progress",
 ]
 
 #: environment knob for the default worker-pool width
@@ -90,6 +92,11 @@ class ProgressEvent:
 
 ProgressCallback = Callable[[ProgressEvent], None]
 
+#: per-run hook: called with each :class:`RunOutcome` the moment it
+#: settles (store hit, fresh result or error) -- the streaming feed the
+#: service layer mirrors job progress from
+OutcomeCallback = Callable[["RunOutcome"], None]
+
 
 def stderr_progress(event: ProgressEvent) -> None:
     """Render a one-line live progress ticker on stderr."""
@@ -111,6 +118,25 @@ def default_workers() -> int:
     if env:
         return max(1, int(env))
     return os.cpu_count() or 1
+
+
+def _pool_worker_init():
+    """Reset inherited signal state in every pool worker.
+
+    A fork-style worker inherits the parent's Python-level signal
+    handlers.  When the parent is the HTTP service, those are asyncio's
+    SIGTERM/SIGINT handlers -- which only write to a wakeup fd the
+    child never services -- so ``Pool.terminate()``'s SIGTERM would be
+    swallowed and the pool join would hang the sweep forever.  Workers
+    take the default dispositions instead (and drop the inherited
+    wakeup fd); the parent owns all signal policy.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
 
 
 def _run_one(task):
@@ -153,11 +179,15 @@ class ExperimentEngine:
         self,
         specs: Sequence[RunSpec],
         progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
     ) -> List[RunOutcome]:
         """Execute a batch of specs; returns outcomes aligned with input.
 
         Duplicate specs share one execution; store hits never touch the
-        pool; fresh results are persisted as they arrive.
+        pool; fresh results are persisted as they arrive.  *on_outcome*
+        streams each distinct outcome as it settles (store hits first,
+        then fresh results/errors in completion order) -- duplicates of
+        one digest fire it once.
         """
         progress = progress or self.progress
         specs = list(specs)
@@ -195,6 +225,8 @@ class ExperimentEngine:
                     spec=spec, key=digest, result=stored, source="store"
                 )
                 counters["store"] += 1
+                if on_outcome is not None:
+                    on_outcome(outcome)
             else:
                 outcome = RunOutcome(spec=spec, key=digest)
                 pending.append((digest, spec))
@@ -220,6 +252,8 @@ class ExperimentEngine:
                 if self.store is not None:
                     self.store.put(outcome.spec, result)
             completed += 1
+            if on_outcome is not None:
+                on_outcome(outcome)
             emit(completed, total)
 
         if pending:
@@ -253,7 +287,9 @@ class ExperimentEngine:
                             for index, (_, spec) in enumerate(pending)
                         ]
                         digests = [digest for digest, _ in pending]
-                        with multiprocessing.Pool(processes=workers) as pool:
+                        with multiprocessing.Pool(
+                            processes=workers, initializer=_pool_worker_init
+                        ) as pool:
                             for index, result, error in pool.imap_unordered(
                                 _run_one, tasks, chunksize=chunksize
                             ):

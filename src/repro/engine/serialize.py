@@ -31,7 +31,9 @@ __all__ = [
 ]
 
 #: Store/record schema version (see module docstring).
-SCHEMA_VERSION = 1
+#: v2: ``MemorySystemStats.writeback_flits`` split dirty-writeback
+#: traffic out of ``request_flits`` (flit accounting fix).
+SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,11 @@ import os
 import pathlib
 from typing import Dict, Iterator, Optional, Union
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 from repro.engine.serialize import (
     SCHEMA_VERSION,
     result_from_dict,
@@ -56,6 +61,28 @@ __all__ = [
 
 #: default on-disk location (under the user cache directory)
 DEFAULT_STORE_DIR = "~/.cache/repro"
+
+
+def _flock(handle, exclusive: bool, blocking: bool = True) -> bool:
+    """Advisory-lock an open store handle; ``True`` when acquired.
+
+    Writers (bare puts, :meth:`ResultStore.batched` blocks) take the
+    lock shared; :meth:`ResultStore.compact` takes it exclusive, so a
+    rewrite can never orphan a live writer's inode (the writer would
+    keep appending to the replaced file and silently lose every
+    subsequent record).  On platforms without :mod:`fcntl` the lock is
+    a no-op that reports success -- same guarantees as before.
+    """
+    if fcntl is None:
+        return True
+    flags = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+    if not blocking:
+        flags |= fcntl.LOCK_NB
+    try:
+        fcntl.flock(handle.fileno(), flags)
+        return True
+    except OSError:
+        return False
 
 
 def default_store_path() -> Optional[pathlib.Path]:
@@ -120,6 +147,30 @@ class ResultStore:
                     self._index[key] = record
 
     # ------------------------------------------------------------------
+    def _open_locked_append(self):
+        """Append handle holding the shared writer lock.
+
+        If a concurrent :meth:`compact` replaced the file between our
+        open and the lock acquisition, the handle points at the
+        orphaned inode -- writes there would vanish.  Re-open until the
+        locked handle and the path agree (bounded: compaction is rare
+        and quick).
+        """
+        for _ in range(5):
+            handle = self.path.open("a", encoding="utf-8")
+            _flock(handle, exclusive=False)
+            if fcntl is None:
+                return handle
+            try:
+                if (os.fstat(handle.fileno()).st_ino
+                        == self.path.stat().st_ino):
+                    return handle
+            except OSError:
+                pass
+            handle.close()
+        return self.path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
     def get(self, key: Union[str, RunKey]) -> Optional[SimulationResult]:
         """Fetch a stored result, or ``None`` when absent/stale."""
         self._ensure_loaded()
@@ -152,7 +203,7 @@ class ResultStore:
                 self.flush()
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
+            with self._open_locked_append() as handle:
                 handle.write(line)
         self._index[key.digest] = record
         return key
@@ -176,13 +227,46 @@ class ResultStore:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._batch_flush_every = max(1, flush_every)
-        self._batch_handle = self.path.open("a", encoding="utf-8")
+        self._batch_handle = self._open_locked_append()
         try:
             yield self
         finally:
             handle, self._batch_handle = self._batch_handle, None
             self._batch_pending = 0
             handle.close()
+
+    def record(self, key: Union[str, RunKey]) -> Optional[dict]:
+        """The raw stored record for *key* (``{"schema", "key", "spec",
+        "result"}``), or ``None`` when absent/stale.
+
+        This is what the service's ``/v1/results`` endpoint serves: the
+        result payload together with the spec it was computed from
+        (provenance), without deserialising into simulation objects.
+        """
+        self._ensure_loaded()
+        digest = key.digest if isinstance(key, RunKey) else key
+        return self._index.get(digest)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the digests of every live record."""
+        self._ensure_loaded()
+        return iter(list(self._index))
+
+    def info(self) -> Dict[str, object]:
+        """Operator-facing snapshot: path, live/stale record counts and
+        the on-disk size in bytes (0 when the file does not exist)."""
+        self._ensure_loaded()
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "path": str(self.path),
+            "records": len(self._index),
+            "stale_records": self._stale_records,
+            "schema_version": self.schema_version,
+            "size_bytes": size,
+        }
 
     # ------------------------------------------------------------------
     def __contains__(self, key: Union[str, RunKey]) -> bool:
@@ -204,19 +288,37 @@ class ResultStore:
         """Rewrite the file keeping only current-schema records (one per
         key); returns the number of live records.
 
+        The rewrite holds the writer lock exclusively and re-reads the
+        file under it, so records appended by another process after
+        this store loaded its index are preserved, and a process
+        currently *holding* a writer lock (a sweep mid-append) makes
+        compaction refuse rather than orphan its inode.
+
         Raises:
             RuntimeError: inside a :meth:`batched` block (the rewrite
                 would orphan the held append handle and silently drop
-                its subsequent writes).
+                its subsequent writes), or while another process holds
+                a writer lock on the file.
         """
         if self._batch_handle is not None:
             raise RuntimeError("compact() is not allowed inside batched()")
-        self._ensure_loaded()
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with tmp.open("w", encoding="utf-8") as handle:
-            for record in self._index.values():
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        tmp.replace(self.path)
+        with self.path.open("a", encoding="utf-8") as guard:
+            if not _flock(guard, exclusive=True, blocking=False):
+                raise RuntimeError(
+                    f"{self.path} is being written by another process; "
+                    "retry when its sweep finishes"
+                )
+            # re-read under the lock: another process may have appended
+            # records since this store first loaded its index
+            self._loaded = False
+            self._index.clear()
+            self._stale_records = 0
+            self._ensure_loaded()
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                for record in self._index.values():
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            tmp.replace(self.path)
         self._stale_records = 0
         return len(self._index)

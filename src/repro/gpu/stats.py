@@ -58,8 +58,13 @@ class MemorySystemStats:
     dram_writes: int = 0
     dram_row_hits: int = 0
     dram_row_misses: int = 0
+    #: address-sized read-request traffic (SM -> L2 direction)
     request_flits: int = 0
+    #: data-sized fill responses (L2 -> SM direction)
     response_flits: int = 0
+    #: data-sized dirty-block writebacks (SM -> L2 direction); kept out
+    #: of ``request_flits`` so the address/data split is honest
+    writeback_flits: int = 0
     latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
 
     @property

@@ -76,7 +76,6 @@ class MemorySubsystem:
         network = self.network
         stats.reads += 1
         arrive_l2, net_out = network.send_request(sm_id, cycle)
-        stats.request_flits += network.request_flits
 
         bank = self._l2_bank_of(block_addr)
         service_start = bank.start_service(arrive_l2)
@@ -106,7 +105,6 @@ class MemorySubsystem:
             data_at = dram_done
 
         completion, net_back = network.send_response(bank.bank_id, data_at)
-        stats.response_flits += network.response_flits
 
         self._lat_network += net_out + net_back
         self._lat_l2 += l2_wait + self.config.l2_service_cycles
@@ -133,7 +131,7 @@ class MemorySubsystem:
         stats = self.stats
         stats.writebacks += 1
         arrive_l2, _ = self.network.send_writeback(sm_id, cycle)
-        stats.request_flits += self.network.response_flits
+        stats.writeback_flits += self.network.response_flits
 
         bank = self._l2_bank_of(block_addr)
         service_start = bank.start_service(arrive_l2)
@@ -153,7 +151,20 @@ class MemorySubsystem:
 
     # ------------------------------------------------------------------
     def finalize_stats(self) -> MemorySystemStats:
-        """Fold per-component counters into the stats object."""
+        """Fold per-component counters into the stats object.
+
+        Flit traffic is reconciled from the interconnect's lifetime
+        counters -- the single source of truth for what actually crossed
+        the network.  ``writeback_flits`` (accumulated per call; the
+        only data-sized traffic in the request direction) splits the
+        request-direction total into address-sized read requests and
+        data-sized dirty writebacks.
+        """
+        network = self.network
+        self.stats.request_flits = (
+            network.request_flits_sent - self.stats.writeback_flits
+        )
+        self.stats.response_flits = network.response_flits_sent
         self.stats.latency = LatencyBreakdown(
             network=self._lat_network,
             l2=self._lat_l2,

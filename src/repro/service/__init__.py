@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: an async HTTP job layer over the engine.
+
+The service turns the content-hash-keyed simulation core into a
+multi-client design-space-exploration backend, using nothing but the
+standard library (``asyncio`` server, ``urllib`` client):
+
+* :mod:`repro.service.jobs` -- the job model.  A sweep request
+  canonicalises to :class:`~repro.engine.spec.RunSpec` s; the job id is
+  a content hash over the sorted :class:`~repro.engine.spec.RunKey`
+  digests, so *what* is being asked for -- not *when* or *by whom* --
+  names the job.
+* :mod:`repro.service.scheduler` -- a bounded async job queue bridging
+  to :class:`~repro.engine.engine.ExperimentEngine` workers off the
+  event loop, with **single-flight coalescing**: concurrent identical
+  jobs collapse to one execution, overlapping run keys attach to
+  in-flight work, and completed keys are served straight from the
+  :class:`~repro.engine.store.ResultStore` -- a warm store answers with
+  zero simulations.
+* :mod:`repro.service.server` -- minimal HTTP/1.1 on
+  ``asyncio.start_server``: submit sweeps, poll jobs, stream progress
+  over SSE, fetch results by run key, health and metrics endpoints,
+  backpressure (429) when the queue is full and graceful drain on
+  SIGTERM.
+* :mod:`repro.service.client` -- ``urllib``-based
+  :class:`~repro.service.client.ServiceClient` with submit / poll /
+  stream helpers (what ``repro submit`` uses).
+
+See ``docs/service-api.md`` for the wire API and deployment knobs.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import InvalidRequest, Job, SweepRequest, job_id_for
+from repro.service.scheduler import Draining, JobScheduler, QueueFull
+from repro.service.server import BackgroundService, SimulationService
+
+__all__ = [
+    "BackgroundService",
+    "Draining",
+    "InvalidRequest",
+    "Job",
+    "JobScheduler",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationService",
+    "SweepRequest",
+    "job_id_for",
+]

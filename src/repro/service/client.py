@@ -1,0 +1,224 @@
+"""``urllib``-based client for the simulation service.
+
+:class:`ServiceClient` wraps the wire API in three idioms:
+
+* **submit** -- :meth:`ServiceClient.submit` posts a sweep and returns
+  the acceptance payload (job id, created flag);
+* **poll** -- :meth:`ServiceClient.job` fetches a snapshot,
+  :meth:`ServiceClient.wait` polls until the job settles;
+* **stream** -- :meth:`ServiceClient.events` yields parsed Server-Sent
+  Events (``(name, payload)`` pairs) as the job progresses, and
+  :meth:`ServiceClient.run_to_completion` combines submit + stream into
+  the one-liner ``repro submit`` uses.
+
+No third-party dependencies: everything rides on
+:mod:`urllib.request`, so any environment that can import ``repro``
+can talk to a service.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "ServiceClient", "ServiceError",
+]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure (status >= 400) from the service.
+
+    Attributes:
+        status: the HTTP status code (0 for transport failures).
+        payload: the decoded JSON error body when there was one.
+    """
+
+    def __init__(self, status: int, message: str, payload: Optional[dict] = None):
+        super().__init__(f"HTTP {status}: {message}" if status else message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Talk to a running simulation service.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8177`` (trailing slash ok).
+        timeout: per-request socket timeout in seconds (streaming
+            requests use it as a read timeout between events).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        stream: bool = False,
+    ):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {}
+            message = decoded.get("error") or raw.decode("utf-8", "replace")
+            raise ServiceError(error.code, message, decoded) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {error.reason}"
+            ) from error
+        if stream:
+            return response
+        with response:
+            data = response.read().decode("utf-8")
+        return json.loads(data) if data else {}
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        configs,
+        workloads,
+        gpu_profile: str = "fermi",
+        scale: str = "test",
+        seed: int = 0,
+        num_sms: Optional[int] = None,
+    ) -> Dict:
+        """POST a sweep; returns the acceptance payload (``job``,
+        ``created``, ``total``, ``location``).
+
+        *configs* / *workloads* may be lists or comma strings; workload
+        tokens follow the sweep grammar (names, suites, ``trace:``,
+        ``all``).
+        """
+        payload: Dict = {
+            "configs": configs, "workloads": workloads,
+            "gpu_profile": gpu_profile, "scale": scale, "seed": seed,
+        }
+        if num_sms is not None:
+            payload["num_sms"] = num_sms
+        return self._request("POST", "/v1/sweeps", payload)
+
+    def job(self, job_id: str) -> Dict:
+        """GET a job snapshot."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, key: str) -> Dict:
+        """GET a completed run record (``spec`` + ``result``) by key."""
+        query = urllib.parse.urlencode({"key": key})
+        return self._request("GET", f"/v1/results?{query}")
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        with self._request("GET", "/metrics", stream=True) as response:
+            return response.read().decode("utf-8")
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> Dict:
+        """Poll until the job settles; returns the final snapshot.
+
+        Raises:
+            TimeoutError: the job did not settle within *timeout*.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def events(self, job_id: str) -> Iterator[Tuple[str, Dict]]:
+        """Stream a job's SSE feed as ``(event name, payload)`` pairs.
+
+        The stream starts with a ``snapshot`` event and ends after the
+        ``done`` event (the generator then returns).
+        """
+        response = self._request(
+            "GET", f"/v1/jobs/{job_id}/events", stream=True
+        )
+        with response:
+            name, data_lines = "message", []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line and data_lines:
+                    payload = json.loads("\n".join(data_lines))
+                    yield name, payload
+                    if name == "done":
+                        return
+                    name, data_lines = "message", []
+
+    # ------------------------------------------------------------------
+    def run_to_completion(
+        self,
+        configs,
+        workloads,
+        gpu_profile: str = "fermi",
+        scale: str = "test",
+        seed: int = 0,
+        num_sms: Optional[int] = None,
+        timeout: float = 600.0,
+        on_event: Optional[Callable[[str, Dict], None]] = None,
+    ) -> Dict:
+        """Submit a sweep and follow it to the end; returns the final
+        job snapshot.
+
+        Progress arrives through *on_event* (SSE ``snapshot``/``run``/
+        ``state`` events).  Falls back to polling if the event stream
+        drops before the job settles.
+        """
+        accepted = self.submit(
+            configs, workloads, gpu_profile=gpu_profile, scale=scale,
+            seed=seed, num_sms=num_sms,
+        )
+        job_id = accepted["job"]
+        deadline = time.monotonic() + timeout
+        try:
+            for name, payload in self.events(job_id):
+                if on_event is not None:
+                    on_event(name, payload)
+                if name == "done":
+                    return payload
+                if time.monotonic() >= deadline:
+                    break  # enforce the deadline even mid-stream; the
+                    # wait() below raises TimeoutError unless the job
+                    # settled in the meantime
+        except (ServiceError, OSError):
+            pass  # stream dropped; the poll below is authoritative
+        return self.wait(
+            job_id, timeout=max(0.0, deadline - time.monotonic())
+        )

@@ -1,0 +1,380 @@
+"""Bounded async job queue bridging the event loop to the engine.
+
+The scheduler owns the three layers of single-flight coalescing that
+let a busy service do dramatically less work than it is asked for:
+
+1. **job level** -- a submission whose content-addressed id matches a
+   queued/running job attaches to it instead of enqueueing a duplicate
+   (two clients asking for the same sweep share one execution);
+2. **run-key level** -- when a job starts, any of its keys currently
+   being simulated by *another* in-flight job are awaited instead of
+   re-dispatched (the settling job resolves a future the attached job
+   waits on);
+3. **completed-key level** -- keys already settled are served from
+   cache: the scheduler's in-memory record mirror first, then the
+   engine's :class:`~repro.engine.store.ResultStore` (the engine's own
+   store lookup).  A warm store answers a whole sweep with **zero**
+   simulations.
+
+Engine execution happens *off the event loop* in a thread-pool executor
+(the engine itself fans out across worker processes); a lock serialises
+engine entries because :class:`~repro.engine.store.ResultStore`'s
+batched append handle is not thread-safe.  Jobs beyond ``max_active``
+wait in a bounded FIFO queue; submissions past ``max_queue`` raise
+:class:`QueueFull`, which the HTTP layer turns into 429 backpressure.
+
+All scheduler state is mutated on the event loop thread only -- the
+engine thread's streaming callbacks are marshalled across with
+``call_soon_threadsafe`` -- so there are no locks around job state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import threading
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.engine.engine import ExperimentEngine, RunOutcome
+from repro.engine.serialize import result_to_dict
+from repro.engine.spec import RunSpec, spec_to_dict
+from repro.service.jobs import Job, SweepRequest
+
+__all__ = [
+    "DEFAULT_MAX_ACTIVE", "DEFAULT_MAX_QUEUE", "Draining", "JobScheduler",
+    "QueueFull",
+]
+
+#: default bound on jobs waiting to start (HTTP 429 past this)
+DEFAULT_MAX_QUEUE = 32
+#: default bound on jobs executing concurrently
+DEFAULT_MAX_ACTIVE = 1
+#: default bound on in-memory completed-run records (LRU evicted)
+DEFAULT_RESULT_CACHE = 4096
+#: default count of finished jobs kept for GET /v1/jobs/{id}
+DEFAULT_JOB_HISTORY = 256
+
+
+class QueueFull(RuntimeError):
+    """The waiting queue is at capacity (HTTP 429)."""
+
+
+class Draining(RuntimeError):
+    """The service is shutting down and takes no new work (HTTP 503)."""
+
+
+class JobScheduler:
+    """Single-flight job execution over an :class:`ExperimentEngine`.
+
+    Args:
+        engine: executes the non-coalesced remainder of every job; its
+            store (if any) is the durable cache layer.
+        max_queue: waiting-job bound (:class:`QueueFull` past it).
+        max_active: concurrently executing job bound.
+        result_cache: in-memory completed-record bound (LRU).
+        job_history: finished jobs retained for later GETs.
+    """
+
+    def __init__(
+        self,
+        engine: ExperimentEngine,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_active: int = DEFAULT_MAX_ACTIVE,
+        result_cache: int = DEFAULT_RESULT_CACHE,
+        job_history: int = DEFAULT_JOB_HISTORY,
+    ) -> None:
+        self.engine = engine
+        self.max_queue = max(0, max_queue)
+        self.max_active = max(1, max_active)
+        self.jobs: Dict[str, Job] = {}
+        self.draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._waiting: Deque[Job] = collections.deque()
+        self._active: Dict[str, asyncio.Task] = {}
+        #: run keys being simulated right now -> future resolving to
+        #: ``(source, error)`` for jobs that attach (single-flight)
+        self._inflight: Dict[str, asyncio.Future] = {}
+        #: completed-run record mirror: key -> {"key", "spec", "result"}
+        self._records: "collections.OrderedDict[str, dict]" = (
+            collections.OrderedDict()
+        )
+        self._record_limit = max(0, result_cache)
+        self._job_history = max(0, job_history)
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        # engine entries are serialised: the store's batched handle (and
+        # the engine's settle bookkeeping) is single-threaded by design
+        self._engine_lock = threading.Lock()
+        self.metrics: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_executed": 0,
+            "jobs_coalesced": 0,
+            "keys_coalesced": 0,
+            "runs_store": 0,
+            "runs_fresh": 0,
+            "runs_error": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: SweepRequest,
+        specs: Optional[List[RunSpec]] = None,
+    ) -> Tuple[Job, bool]:
+        """Submit a sweep; returns ``(job, created)``.
+
+        ``created`` is ``False`` when the submission coalesced onto an
+        already queued/running identical job.  *specs* lets the caller
+        pre-build the run specs off the event loop (``trace:<path>``
+        workloads hash their file during spec building); when omitted
+        they are built here.
+
+        Raises:
+            Draining: the service is shutting down.
+            QueueFull: the waiting queue is at capacity.
+            InvalidRequest: (from spec building) malformed request.
+        """
+        if self.draining:
+            raise Draining("service is draining; not accepting jobs")
+        self._loop = asyncio.get_running_loop()
+        job = Job(request, specs if specs is not None else request.to_specs())
+        existing = self.jobs.get(job.id)
+        if existing is not None and not existing.done:
+            self.metrics["jobs_coalesced"] += 1
+            return existing, False
+        # a job that can start immediately never counts against the
+        # waiting bound; only jobs that would actually queue do
+        if (
+            len(self._active) >= self.max_active
+            and len(self._waiting) >= self.max_queue
+        ):
+            raise QueueFull(
+                f"queue full ({len(self._waiting)}/{self.max_queue} "
+                "jobs waiting)"
+            )
+        self.metrics["jobs_submitted"] += 1
+        self.jobs[job.id] = job
+        self._waiting.append(job)
+        self._prune_history()
+        self._pump()
+        return job, True
+
+    def _prune_history(self) -> None:
+        """Drop the oldest finished jobs beyond the history bound."""
+        finished = [j for j in self.jobs.values() if j.done]
+        excess = len(finished) - self._job_history
+        if excess <= 0:
+            return
+        finished.sort(key=lambda j: j.finished or 0.0)
+        for job in finished[:excess]:
+            self.jobs.pop(job.id, None)
+            self._subscribers.pop(job.id, None)
+
+    def _pump(self) -> None:
+        """Start waiting jobs while active slots are free."""
+        while self._waiting and len(self._active) < self.max_active:
+            job = self._waiting.popleft()
+            task = self._loop.create_task(self._run_job(job))
+            self._active[job.id] = task
+            task.add_done_callback(
+                lambda _t, job_id=job.id: self._job_task_done(job_id)
+            )
+
+    def _job_task_done(self, job_id: str) -> None:
+        self._active.pop(job_id, None)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    async def _run_job(self, job: Job) -> None:
+        """Execute one job: cache, attach, dispatch, settle, finish."""
+        self.metrics["jobs_executed"] += 1
+        job.mark_running()
+        self._emit(job, {"event": "state", "state": "running"})
+
+        dispatch: List[RunSpec] = []
+        owned: List[str] = []
+        attached: Dict[str, asyncio.Future] = {}
+        for key, spec in job.specs.items():
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # single-flight: someone else is simulating this key
+                self.metrics["keys_coalesced"] += 1
+                attached[key] = inflight
+            elif key in self._records:
+                self._records.move_to_end(key)
+                self._settle(job, key, "store")
+            else:
+                dispatch.append(spec)
+                owned.append(key)
+                self._inflight[key] = self._loop.create_future()
+
+        failure: Optional[str] = None
+        if dispatch:
+            loop = self._loop
+
+            def on_outcome(outcome: RunOutcome) -> None:
+                # engine thread -> event loop
+                loop.call_soon_threadsafe(
+                    self._settle_from_engine, job, outcome
+                )
+
+            def call() -> None:
+                with self._engine_lock:
+                    self.engine.run_specs(
+                        dispatch, progress=None, on_outcome=on_outcome
+                    )
+
+            try:
+                await loop.run_in_executor(None, call)
+            except Exception as error:  # wholesale engine failure
+                failure = f"{type(error).__name__}: {error}"
+            # resolve any still-open owned keys (normally none; on a
+            # wholesale failure the attached jobs must not hang)
+            for key in owned:
+                future = self._inflight.pop(key, None)
+                if future is None:
+                    continue
+                message = failure or "engine returned without settling"
+                self._settle(job, key, "error", message)
+                if not future.done():
+                    future.set_result(("error", message))
+
+        for key, future in attached.items():
+            source, error = await future
+            self._settle(
+                job, key, "coalesced" if error is None else "error", error
+            )
+
+        job.finish(failure)
+        self._emit(job, {"event": "done", "job": job.snapshot()})
+
+    # ------------------------------------------------------------------
+    def _settle_from_engine(self, job: Job, outcome: RunOutcome) -> None:
+        """Event-loop side of the engine's streaming outcome callback."""
+        key = outcome.key
+        if outcome.ok and outcome.result is not None:
+            self._remember(key, {
+                "key": key,
+                "spec": spec_to_dict(outcome.spec),
+                "result": result_to_dict(outcome.result),
+            })
+        source = outcome.source if outcome.ok else "error"
+        self._settle(job, key, source, outcome.error)
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result((source, outcome.error))
+
+    def _settle(
+        self, job: Job, key: str, source: str, error: Optional[str] = None
+    ) -> None:
+        """Record one run settlement and stream it to subscribers."""
+        if source == "error":
+            self.metrics["runs_error"] += 1
+        elif source == "fresh":
+            self.metrics["runs_fresh"] += 1
+        elif source == "store":
+            self.metrics["runs_store"] += 1
+        job.settle_run(key, source, error)
+        self._emit(job, {
+            "event": "run", "key": key, "source": source, "error": error,
+            "completed": job.counters["completed"],
+            "total": job.counters["total"],
+        })
+
+    def _remember(self, key: str, record: dict) -> None:
+        if self._record_limit <= 0:
+            return
+        self._records[key] = record
+        self._records.move_to_end(key)
+        while len(self._records) > self._record_limit:
+            self._records.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def result_record(self, key: str) -> Optional[dict]:
+        """Completed-run record for *key*: memory mirror first, then the
+        engine's result store; ``None`` when unknown."""
+        record = self._records.get(key)
+        if record is not None:
+            self._records.move_to_end(key)
+            return record
+        if self.engine.store is not None:
+            stored = self.engine.store.record(key)
+            if stored is not None:
+                return {
+                    "key": key,
+                    "spec": stored.get("spec"),
+                    "result": stored.get("result"),
+                }
+        return None
+
+    # ------------------------------------------------------------------
+    def subscribe(self, job_id: str) -> asyncio.Queue:
+        """Event queue for a job's SSE stream (seeded lazily: the caller
+        sends the current snapshot first, then drains this queue)."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        listeners = self._subscribers.get(job_id)
+        if listeners is None:
+            return
+        try:
+            listeners.remove(queue)
+        except ValueError:
+            pass
+        if not listeners:
+            self._subscribers.pop(job_id, None)
+
+    def _emit(self, job: Job, event: dict) -> None:
+        for queue in self._subscribers.get(job.id, ()):
+            queue.put_nowait(event)
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop accepting work and wait for queued + active jobs.
+
+        Queued jobs still execute (they were accepted); new submissions
+        raise :class:`Draining` the moment this is called.
+        """
+        self.draining = True
+        while self._waiting or self._active:
+            tasks = list(self._active.values())
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            else:  # queued but not yet pumped (no free slot this tick)
+                await asyncio.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Counters for /metrics (scheduler + store view)."""
+        served = self.metrics["runs_store"] + self.metrics["runs_fresh"]
+        out: Dict[str, object] = {
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.max_queue,
+            "active_jobs": self.active_jobs,
+            "max_active": self.max_active,
+            "draining": int(self.draining),
+            "result_cache_records": len(self._records),
+            **self.metrics,
+            "store_hit_rate": (
+                self.metrics["runs_store"] / served if served else 0.0
+            ),
+        }
+        for state in ("queued", "running", "done", "failed"):
+            out[f"jobs_{state}"] = sum(
+                1 for job in self.jobs.values() if job.state == state
+            )
+        if self.engine.store is not None:
+            info = self.engine.store.info()
+            out["store_records"] = info["records"]
+            out["store_size_bytes"] = info["size_bytes"]
+        return out

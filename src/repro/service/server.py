@@ -1,0 +1,557 @@
+"""Minimal HTTP/1.1 service on ``asyncio.start_server``.
+
+Endpoints (see ``docs/service-api.md`` for payload shapes):
+
+* ``POST /v1/sweeps``          -- submit a sweep; 202 with the job id
+  (an identical queued/running job coalesces: same id, ``created``
+  false), 400 on a malformed request, 429 when the queue is full,
+  503 while draining.
+* ``GET /v1/jobs/{id}``        -- job snapshot (state, counters, runs).
+* ``GET /v1/jobs/{id}/events`` -- Server-Sent Events progress stream:
+  a ``snapshot`` event, then one ``run`` event per settled run, closed
+  by a ``done`` event carrying the final snapshot.
+* ``GET /v1/results?key=...``  -- a completed run's record (spec +
+  result) by run-key digest, served from cache without simulating.
+* ``GET /healthz``             -- liveness (``draining`` while
+  shutting down).
+* ``GET /metrics``             -- text metrics: queue depth, store
+  hit rate, jobs/runs served, single-flight coalescing counters.
+
+Operational behaviour: request bodies are bounded (413 past
+``max_body``), non-sweep methods get 405, unknown paths 404; SIGTERM /
+SIGINT triggers a graceful drain -- the listener closes, queued and
+active jobs finish, then the process exits.
+
+Every knob has a ``REPRO_SERVICE_*`` environment default so ``repro
+serve`` deployments can be configured without flags.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import threading
+import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine.engine import ExperimentEngine
+from repro.engine.store import ResultStore, default_store_path
+from repro.service.jobs import InvalidRequest, SweepRequest
+from repro.service.scheduler import (
+    DEFAULT_MAX_ACTIVE,
+    DEFAULT_MAX_QUEUE,
+    Draining,
+    JobScheduler,
+    QueueFull,
+)
+
+__all__ = [
+    "BackgroundService", "DEFAULT_HOST", "DEFAULT_PORT", "SimulationService",
+    "env_int", "serve",
+]
+
+#: default bind address (loopback: put a real proxy in front for LAN use)
+DEFAULT_HOST = "127.0.0.1"
+#: default TCP port
+DEFAULT_PORT = 8177
+#: default request-body bound in bytes
+DEFAULT_MAX_BODY = 1 << 20
+
+#: per-read/write socket timeout: a stalled client must not be able to
+#: pin a connection handler open forever (that would wedge the graceful
+#: drain, which waits for handlers on Python >= 3.12.1)
+IO_TIMEOUT_S = 30.0
+
+_SERVER_NAME = "repro-service"
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment knob with a fallback default."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}")
+
+
+class _HTTPError(Exception):
+    """Terminate request handling with a status + JSON error body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 411: "Length Required",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Server: {_SERVER_NAME}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _json_response(
+    status: int, payload: dict, extra: Tuple[Tuple[str, str], ...] = ()
+) -> bytes:
+    return _response(
+        status, (json.dumps(payload, sort_keys=True) + "\n").encode(),
+        extra=extra,
+    )
+
+
+class SimulationService:
+    """The HTTP front of a :class:`JobScheduler`.
+
+    Args:
+        scheduler: executes the jobs (owns the engine + store).
+        host/port: bind address; port 0 picks an ephemeral port
+            (exposed as :attr:`port` after :meth:`start`).
+        max_body: request-body bound in bytes (413 past it).
+    """
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        max_body: int = DEFAULT_MAX_BODY,
+        allow_traces: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.max_body = max_body
+        self.allow_traces = allow_traces
+        self.started = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (resolves :attr:`port` when it was 0).
+
+        The result store's index is pre-loaded off the event loop here:
+        the first touch parses the whole JSON-lines file, and that must
+        never happen inside a request handler (it would stall every
+        concurrent connection, health checks included).
+        """
+        store = self.scheduler.engine.store
+        if store is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, len, store
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to drain and exit (signal-handler safe)."""
+        self.scheduler.draining = True
+        self._stop.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop` (or SIGTERM/SIGINT), then
+        drain gracefully: close the listener, let every accepted job
+        finish, and return."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        try:
+            await self._stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            self._server.close()
+            await self._server.wait_closed()
+            await self.scheduler.drain()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, headers = await self._read_head(reader)
+                body = await self._read_body(reader, headers)
+                await self._route(method, target, body, writer)
+            except _HTTPError as error:
+                writer.write(_json_response(
+                    error.status, {"error": error.message},
+                ))
+            except ValueError as error:
+                # e.g. a request/header line over the StreamReader limit
+                writer.write(_json_response(400, {"error": str(error)}))
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass  # client went away mid-request/mid-stream
+        finally:
+            with contextlib.suppress(Exception):
+                writer.write_eof()
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_line(reader: asyncio.StreamReader, what: str) -> bytes:
+        """One CRLF-terminated line, bounded in both time and length."""
+        try:
+            return await asyncio.wait_for(reader.readline(), IO_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            raise _HTTPError(400, f"timed out reading the {what}")
+        except ValueError:
+            # the StreamReader 64 KiB line limit: a 400, not a dropped
+            # connection + unhandled-task traceback
+            raise _HTTPError(400, f"{what} too long")
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        request_line = await self._read_line(reader, "request line")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HTTPError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._read_line(reader, "header line")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 100:
+                raise _HTTPError(400, "too many headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            return b""
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HTTPError(400, "malformed Content-Length")
+        if length > self.max_body:
+            raise _HTTPError(
+                413, f"request body exceeds {self.max_body} bytes"
+            )
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), IO_TIMEOUT_S
+            )
+        except asyncio.TimeoutError:
+            raise _HTTPError(400, "timed out reading the request body")
+        except asyncio.IncompleteReadError:
+            raise _HTTPError(400, "request body shorter than Content-Length")
+
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+
+        if path == "/healthz" and method == "GET":
+            status = "draining" if self.scheduler.draining else "ok"
+            writer.write(_json_response(
+                503 if status == "draining" else 200,
+                {
+                    "status": status,
+                    "uptime_s": time.monotonic() - self.started,
+                },
+            ))
+            return
+        if path == "/metrics" and method == "GET":
+            writer.write(_response(
+                200, self._metrics_text().encode(),
+                content_type="text/plain; charset=utf-8",
+            ))
+            return
+        if path == "/v1/sweeps":
+            if method != "POST":
+                raise _HTTPError(405, "POST only")
+            await self._handle_submit(body, writer)
+            return
+        if path == "/v1/results" and method == "GET":
+            key = parse_qs(url.query).get("key", [""])[0]
+            if not key:
+                raise _HTTPError(400, "missing ?key=<run key digest>")
+            record = self.scheduler.result_record(key)
+            if record is None:
+                raise _HTTPError(404, f"no completed result for key {key}")
+            writer.write(_json_response(200, record))
+            return
+        if path.startswith("/v1/jobs/") and method == "GET":
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                await self._handle_events(rest[: -len("/events")].rstrip("/"),
+                                          writer)
+                return
+            if "/" not in rest:
+                job = self.scheduler.jobs.get(rest)
+                if job is None:
+                    raise _HTTPError(404, f"unknown job {rest}")
+                writer.write(_json_response(200, job.snapshot()))
+                return
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    async def _handle_submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HTTPError(400, "request body is not valid JSON")
+        try:
+            request = SweepRequest.from_payload(
+                payload, allow_traces=self.allow_traces
+            )
+            # spec building reads + hashes trace files for trace:<path>
+            # workloads -- blocking I/O that must stay off the loop
+            specs = await asyncio.get_running_loop().run_in_executor(
+                None, request.to_specs
+            )
+            job, created = self.scheduler.submit(request, specs)
+        except InvalidRequest as error:
+            raise _HTTPError(400, str(error))
+        except QueueFull as error:
+            writer.write(_json_response(
+                429, {"error": str(error)}, extra=(("Retry-After", "1"),),
+            ))
+            return
+        except Draining as error:
+            raise _HTTPError(503, str(error))
+        writer.write(_json_response(
+            202,
+            {
+                "job": job.id,
+                "created": created,
+                "state": job.state,
+                "total": job.counters["total"],
+                "location": f"/v1/jobs/{job.id}",
+                "events": f"/v1/jobs/{job.id}/events",
+            },
+            extra=(("Location", f"/v1/jobs/{job.id}"),),
+        ))
+
+    async def _handle_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream a job's progress as Server-Sent Events."""
+        job = self.scheduler.jobs.get(job_id)
+        if job is None:
+            raise _HTTPError(404, f"unknown job {job_id}")
+        # subscribe *before* snapshotting so no settle falls in between
+        queue = self.scheduler.subscribe(job_id)
+
+        async def push() -> None:
+            # a stalled reader must not pin this handler (and with it
+            # the graceful drain) open forever
+            await asyncio.wait_for(writer.drain(), IO_TIMEOUT_S)
+
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Server: " + _SERVER_NAME.encode() + b"\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-cache\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            writer.write(_sse_event("snapshot", job.snapshot()))
+            await push()
+            if job.done:
+                writer.write(_sse_event("done", job.snapshot()))
+                await push()
+                return
+            while True:
+                event = await queue.get()
+                name = event.get("event", "message")
+                if name == "done":
+                    writer.write(_sse_event("done", event["job"]))
+                    await push()
+                    return
+                writer.write(_sse_event(name, event))
+                await push()
+        finally:
+            self.scheduler.unsubscribe(job_id, queue)
+
+    # ------------------------------------------------------------------
+    def _metrics_text(self) -> str:
+        snapshot = self.scheduler.metrics_snapshot()
+        lines = [
+            f"repro_service_uptime_seconds "
+            f"{time.monotonic() - self.started:.3f}"
+        ]
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            rendered = f"{value:.6f}" if isinstance(value, float) else value
+            lines.append(f"repro_service_{name} {rendered}")
+        return "\n".join(lines) + "\n"
+
+
+def _sse_event(name: str, payload: dict) -> bytes:
+    return (
+        f"event: {name}\ndata: {json.dumps(payload, sort_keys=True)}\n\n"
+    ).encode()
+
+
+# ----------------------------------------------------------------------
+def build_service(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    store_path=None,
+    no_store: bool = False,
+    workers: Optional[int] = None,
+    max_queue: Optional[int] = None,
+    max_active: Optional[int] = None,
+    max_body: Optional[int] = None,
+    allow_traces: Optional[bool] = None,
+) -> SimulationService:
+    """Assemble engine -> scheduler -> service with env-var defaults.
+
+    ``REPRO_SERVICE_QUEUE`` / ``REPRO_SERVICE_ACTIVE`` /
+    ``REPRO_SERVICE_MAX_BODY`` fill unspecified bounds;
+    ``REPRO_SERVICE_ALLOW_TRACES=1`` opts in to ``trace:<path>``
+    workloads (server-side file access -- off by default).  The store
+    resolves like the CLI's (explicit path, else ``REPRO_STORE``, else
+    the user cache directory; ``no_store`` disables persistence -- the
+    scheduler's in-memory record mirror still dedupes within the
+    process lifetime).
+    """
+    store = None
+    if not no_store:
+        path = store_path if store_path is not None else default_store_path()
+        if path:
+            store = ResultStore(path)
+    engine = ExperimentEngine(store=store, workers=workers)
+    scheduler = JobScheduler(
+        engine,
+        max_queue=(
+            max_queue if max_queue is not None
+            else env_int("REPRO_SERVICE_QUEUE", DEFAULT_MAX_QUEUE)
+        ),
+        max_active=(
+            max_active if max_active is not None
+            else env_int("REPRO_SERVICE_ACTIVE", DEFAULT_MAX_ACTIVE)
+        ),
+    )
+    return SimulationService(
+        scheduler,
+        host=host,
+        port=port,
+        max_body=(
+            max_body if max_body is not None
+            else env_int("REPRO_SERVICE_MAX_BODY", DEFAULT_MAX_BODY)
+        ),
+        allow_traces=(
+            allow_traces if allow_traces is not None
+            else os.environ.get("REPRO_SERVICE_ALLOW_TRACES", "").strip()
+            in ("1", "true", "yes")
+        ),
+    )
+
+
+def serve(service: SimulationService, announce=None) -> None:
+    """Blocking entry point: run *service* until SIGTERM/SIGINT, then
+    drain and return (what ``repro serve`` calls)."""
+
+    async def main() -> None:
+        await service.start()
+        if announce is not None:
+            announce(service)
+        await service.serve_until_stopped()
+
+    asyncio.run(main())
+
+
+class BackgroundService:
+    """Run a :class:`SimulationService` on a background thread.
+
+    Context manager for tests and in-process embedding::
+
+        with BackgroundService(workers=1, no_store=True) as svc:
+            client = ServiceClient(svc.url)
+            ...
+
+    The service binds an ephemeral port by default; :attr:`url` is ready
+    once ``__enter__`` returns.  Exit requests a drain and joins the
+    thread, so accepted jobs finish before the block ends.
+    """
+
+    def __init__(self, service: Optional[SimulationService] = None,
+                 **build_kwargs) -> None:
+        if service is not None and build_kwargs:
+            raise ValueError("pass a service OR build kwargs, not both")
+        if service is None:
+            build_kwargs.setdefault("port", 0)
+            service = build_service(**build_kwargs)
+        self.service = service
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.service.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.service.serve_until_stopped()
+
+        try:
+            asyncio.run(main())
+        finally:
+            self._ready.set()  # unblock __enter__ on startup failure
+
+    def __enter__(self) -> "BackgroundService":
+        self._thread.start()
+        self._ready.wait(30.0)
+        if self._loop is None:
+            raise RuntimeError("service failed to start")
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.service.request_stop)
+        self._thread.join(60.0)

@@ -203,3 +203,76 @@ class TestTrace:
         ])
         assert code == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def _fill(self, store_path):
+        assert main([
+            "sweep", "--configs", "L1-SRAM", "--workloads", "2DCONV",
+            "--workers", "1", "--store", str(store_path), "--sms", "2",
+            "--scale", "smoke", "--quiet",
+        ]) == 0
+
+    def test_info_reports_records_and_size(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        self._fill(store)
+        capsys.readouterr()
+        assert main(["store", "info", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert str(store) in out
+        assert "records" in out and "schema_version" in out
+
+    def test_compact_drops_superseded_records(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        self._fill(store)
+        # duplicate every line: superseded records compact away
+        store.write_text(store.read_text() * 2)
+        capsys.readouterr()
+        assert main(["store", "compact", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 live records" in out
+        assert "1 dropped" in out
+        assert len(store.read_text().splitlines()) == 1
+
+    def test_path_prints_resolved_path(self, tmp_path, capsys):
+        assert main(["store", "path", "--store", str(tmp_path / "s.jsonl")]
+                    ) == 0
+        assert str(tmp_path / "s.jsonl") in capsys.readouterr().out
+
+    def test_disabled_store_fails_cleanly(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", "")
+        assert main(["store", "info"]) == 2
+        assert "no store configured" in capsys.readouterr().err
+
+
+class TestSubmitCommand:
+    def test_submit_against_live_service(self, tmp_path, capsys):
+        from repro.service import BackgroundService
+
+        with BackgroundService(
+            store_path=tmp_path / "store.jsonl", workers=1
+        ) as svc:
+            argv = [
+                "submit", "--url", svc.url, "--configs", "L1-SRAM,Dy-FUSE",
+                "--workloads", "ATAX", "--sms", "2", "--scale", "smoke",
+                "--quiet",
+            ]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "2 runs: 0 from store, 2 fresh" in out
+            # warm resubmission completes entirely from the store
+            assert main(argv + ["--json"]) == 0
+            import json
+
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["store_hits"] == payload["total"] == 2
+            assert payload["fresh"] == 0
+
+    def test_submit_unreachable_service_fails_cleanly(self, capsys):
+        code = main([
+            "submit", "--url", "http://127.0.0.1:9", "--configs",
+            "L1-SRAM", "--workloads", "ATAX", "--sms", "2",
+            "--scale", "smoke", "--quiet",
+        ])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err

@@ -140,6 +140,37 @@ class TestResultStore:
         assert current.compact() == 1
         assert ResultStore(path).stale_records == 0
 
+    def test_compact_refuses_while_a_writer_holds_the_file(self, tmp_path):
+        """A live writer (e.g. a serving process mid-sweep) must make
+        compaction refuse -- a rewrite would orphan the writer's inode
+        and silently lose every record it appends afterwards."""
+        path = tmp_path / "store.jsonl"
+        spec = smoke_spec()
+        result = execute_spec(spec)
+        writer = ResultStore(path)
+        operator = ResultStore(path)
+        with writer.batched():
+            writer.put(spec, result)
+            with pytest.raises(RuntimeError, match="another process"):
+                operator.compact()
+        # writer gone: the lock is released and compaction proceeds
+        assert operator.compact() == 1
+
+    def test_compact_preserves_concurrent_appends(self, tmp_path):
+        """compact() re-reads the file under its exclusive lock, so a
+        record appended by another process after this store loaded its
+        index is kept, not silently dropped."""
+        path = tmp_path / "store.jsonl"
+        first = smoke_spec("L1-SRAM")
+        store = ResultStore(path)
+        store.put(first, execute_spec(first))
+        assert len(store) == 1  # index loaded now
+        other = ResultStore(path)
+        second = smoke_spec("Dy-FUSE")
+        other.put(second, execute_spec(second))
+        assert store.compact() == 2
+        assert len(ResultStore(path)) == 2
+
 
 class TestEngine:
     def test_parallel_identical_to_serial(self):
@@ -196,6 +227,29 @@ class TestEngine:
         assert events[-1].fresh == 2
         completed = [e.completed for e in events]
         assert completed == sorted(completed)
+
+    def test_on_outcome_streams_every_settlement(self, tmp_path):
+        specs = [smoke_spec("L1-SRAM"), smoke_spec("Dy-FUSE")]
+        store = ResultStore(tmp_path / "store.jsonl")
+        streamed = []
+        outcomes = ExperimentEngine(store=store, workers=1).run_specs(
+            specs, on_outcome=streamed.append
+        )
+        # the same settled objects stream out, one per distinct key
+        assert {id(o) for o in streamed} == {id(o) for o in outcomes}
+        assert [o.source for o in streamed] == ["fresh", "fresh"]
+        # warm pass: store hits stream too (before any pool dispatch)
+        streamed = []
+        ExperimentEngine(
+            store=ResultStore(tmp_path / "store.jsonl"), workers=1
+        ).run_specs(specs, on_outcome=streamed.append)
+        assert [o.source for o in streamed] == ["store", "store"]
+        # duplicates of one digest fire the callback once
+        streamed = []
+        ExperimentEngine(workers=1).run_specs(
+            [specs[0], specs[0]], on_outcome=streamed.append
+        )
+        assert len(streamed) == 1
 
     def test_run_matrix_shape(self):
         table, outcomes = ExperimentEngine(workers=1).run_matrix(

@@ -130,6 +130,37 @@ class TestSubsystem:
         mem.issue_writeback(0x55, 0, 0)
         assert mem.stats.writebacks == 1
 
+    def test_writeback_flits_counted_separately(self, config):
+        """Dirty writebacks are data-sized but must not inflate the
+        address-sized request_flits counter."""
+        mem = MemorySubsystem(config)
+        mem.issue_read(0x1, 0, 0)
+        mem.issue_writeback(0x55, 0, 0)
+        stats = mem.finalize_stats()
+        assert stats.writeback_flits == mem.network.response_flits
+        assert stats.request_flits == mem.network.request_flits
+        assert stats.response_flits == mem.network.response_flits
+
+    def test_flit_counters_reconcile_with_interconnect(self, config):
+        """The interconnect's lifetime counters are the single source of
+        truth: the stats split must sum back to them exactly."""
+        mem = MemorySubsystem(config)
+        for i in range(7):
+            mem.issue_read(0x1000 + 16 * i, i % config.num_sms, 3 * i)
+        for i in range(4):
+            mem.issue_writeback(0x9000 + 16 * i, i % config.num_sms, 5 * i)
+        stats = mem.finalize_stats()
+        net = mem.network
+        assert (
+            stats.request_flits + stats.writeback_flits
+            == net.request_flits_sent
+        )
+        assert stats.response_flits == net.response_flits_sent
+        # and the split itself is exact: reads are address-sized, the
+        # writebacks data-sized
+        assert stats.request_flits == stats.reads * net.request_flits
+        assert stats.writeback_flits == stats.writebacks * net.response_flits
+
     def test_slot_counters_match_sampled_breakdowns(self, config):
         """The fast path's integer slots must equal the sum of per-access
         breakdowns once materialized."""
