@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -62,6 +63,44 @@ SMOKE_PAIRS = [
     ("Dy-FUSE", "SS"),
     ("L1-SRAM", "2DCONV"),
 ]
+
+
+def host_metadata() -> dict:
+    """Where this report was measured: interpreter, machine and the
+    ``REPRO_*`` environment in effect.
+
+    Stamped into every report so a ``--check`` mismatch can say *why*
+    two numbers might legitimately differ (different interpreter,
+    different core count, a ``REPRO_*`` knob flipped) before anyone
+    chases a phantom regression.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "repro_env": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("REPRO_")
+        },
+    }
+
+
+def describe_host(host: dict) -> str:
+    """One-line rendering of a host stamp (old reports may lack one)."""
+    if not host:
+        return "(no host metadata recorded)"
+    env = ",".join(
+        f"{key}={value}" for key, value in host.get("repro_env", {}).items()
+    )
+    return (
+        f"{host.get('implementation', '?')} {host.get('python', '?')} on "
+        f"{host.get('platform', '?')} ({host.get('cpu_count', '?')} cpus"
+        + (f"; {env}" if env else "")
+        + ")"
+    )
 
 
 def measure_pair(
@@ -129,6 +168,7 @@ def run_benchmark(
         )
     return {
         "python": platform.python_version(),
+        "host": host_metadata(),
         "scale": scale,
         "num_sms": num_sms,
         "repeats": repeats,
@@ -144,7 +184,9 @@ def check_against_baseline(
     Returns the number of regressed pairs (``new < old * (1 -
     tolerance)``); pairs absent from the baseline, and baseline pairs
     not measured now, are reported but never fail the check.
-    Improvements always pass.
+    Improvements always pass.  When anything regresses, both host
+    stamps are printed so interpreter/machine/env drift is the first
+    hypothesis on the table, not the last.
     """
     baseline = json.loads(baseline_path.read_text())
     if (baseline.get("scale"), baseline.get("num_sms")) != (
@@ -183,6 +225,15 @@ def check_against_baseline(
             regressed += 1
     for key in old_rows:
         print(f"note: baseline pair {key[0]} x {key[1]} not measured")
+    if regressed:
+        print(
+            "host now:      " + describe_host(report.get("host", {})),
+            file=sys.stderr,
+        )
+        print(
+            "host baseline: " + describe_host(baseline.get("host", {})),
+            file=sys.stderr,
+        )
     return regressed
 
 

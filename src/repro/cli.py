@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Nine commands cover the workflows a downstream user reaches for first:
+Eleven commands cover the workflows a downstream user reaches for
+first:
 
 * ``list``    -- show the available L1D configurations and every
   registered workload (Table II, the DNN suite, user registrations).
@@ -29,6 +30,11 @@ Nine commands cover the workflows a downstream user reaches for first:
   progress to completion (the client side of ``serve``).
 * ``store``   -- operator tooling for the result store: ``info``,
   ``compact``, ``path``.
+* ``metrics`` -- scrape a running service's ``GET /metrics`` exposition
+  (optionally grep-filtered) without needing curl.
+* ``spans``   -- summarise a phase-span log (``REPRO_SPANS``) or export
+  it as a Chrome ``trace_event`` JSON for Perfetto
+  (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -122,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--seed", type=int, default=0, help="simulation seed (default 0)",
+    )
+    sweep.add_argument(
+        "--timeline", type=int, default=0, metavar="CYCLES",
+        help="sample the in-simulation timeline every CYCLES cycles "
+             "(0 = off; sampled runs key separately in the store)",
     )
     sweep.add_argument(
         "--json", action="store_true",
@@ -247,6 +258,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="simulation seed (default 0)",
     )
     submit.add_argument(
+        "--timeline", type=int, default=0, metavar="CYCLES",
+        help="sample the in-simulation timeline every CYCLES cycles "
+             "(0 = off; fetch the series from /v1/jobs/{id}/timeline)",
+    )
+    submit.add_argument(
         "--timeout", type=float, default=600.0,
         help="seconds to wait for completion (default 600)",
     )
@@ -275,6 +291,34 @@ def _build_parser() -> argparse.ArgumentParser:
             help="result-store path (default: REPRO_STORE env or "
                  "~/.cache/repro/results.jsonl)",
         )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running service's GET /metrics exposition",
+    )
+    metrics.add_argument(
+        "--url", default=None,
+        help="service base URL (default: REPRO_SERVICE_URL or "
+             "http://127.0.0.1:8177)",
+    )
+    metrics.add_argument(
+        "--grep", default=None, metavar="SUBSTRING",
+        help="print only lines containing SUBSTRING (HELP/TYPE lines "
+             "of matching families included)",
+    )
+
+    spans = sub.add_parser(
+        "spans",
+        help="summarise a phase-span log or export it for Perfetto",
+    )
+    spans.add_argument(
+        "log", help="span JSONL written under REPRO_SPANS=<path>",
+    )
+    spans.add_argument(
+        "--chrome", default=None, metavar="OUT",
+        help="write a Chrome trace_event JSON to OUT (load it in "
+             "Perfetto / chrome://tracing) instead of the summary table",
+    )
     return parser
 
 
@@ -528,7 +572,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     run = lambda: engine.run_matrix(  # noqa: E731 - tiny dispatch shim
         configs, workloads,
         gpu_profile=args.gpu, scale=args.scale, seed=args.seed,
-        num_sms=args.sms,
+        num_sms=args.sms, timeline_interval=args.timeline,
     )
     if args.profile:
         # stderr, like the progress ticker: --json consumers own stdout
@@ -595,6 +639,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{fresh} fresh, {len(errors)} failed"
             + (f" (store: {store.path})" if store is not None else "")
         )
+        if args.timeline:
+            sampled = sum(
+                1 for o in outcomes
+                if o.result is not None and o.result.timeline is not None
+            )
+            print(
+                f"timeline: {sampled}/{len(outcomes)} runs carry a "
+                f"series sampled every {args.timeline} cycles "
+                "(--json to export)"
+            )
     for outcome in errors:
         print(
             f"error: {outcome.spec.l1d.name} on {outcome.spec.workload}:\n"
@@ -667,7 +721,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         snapshot = client.run_to_completion(
             args.configs, args.workloads, gpu_profile=args.gpu,
             scale=args.scale, seed=args.seed, num_sms=args.sms,
-            timeout=args.timeout, on_event=on_event,
+            timeline=args.timeline, timeout=args.timeout,
+            on_event=on_event,
         )
     except (ServiceError, TimeoutError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -693,6 +748,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"{snapshot['errors']} failed "
             f"({snapshot['elapsed_s']:.2f}s)"
         )
+        if args.timeline:
+            print(
+                f"timeline: GET {url}/v1/jobs/{snapshot['job']}/timeline"
+            )
     failed = snapshot["state"] == "failed" or snapshot["errors"] > 0
     for run in snapshot.get("runs", []):
         if run.get("error"):
@@ -746,6 +805,82 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    url = (
+        args.url or os.environ.get("REPRO_SERVICE_URL")
+        or "http://127.0.0.1:8177"
+    )
+    try:
+        text = ServiceClient(url).metrics()
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.grep:
+        needle = args.grep
+        # keep the HELP/TYPE preamble of any family whose name matches,
+        # so filtered output is still valid exposition
+        for line in text.splitlines():
+            if needle in line:
+                print(line)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro.telemetry.spans import export_chrome_trace, read_spans
+
+    try:
+        spans = read_spans(args.log)
+    except OSError as error:
+        print(f"error: cannot read {args.log}: {error}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"{args.log}: no spans", file=sys.stderr)
+        return 1
+
+    if args.chrome:
+        trace = export_chrome_trace(spans)
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+        print(
+            f"wrote {len(trace['traceEvents'])} trace events -> "
+            f"{args.chrome} (open in Perfetto or chrome://tracing)"
+        )
+        return 0
+
+    # default view: one row per span name with count and duration stats
+    by_name: dict = {}
+    for entry in spans:
+        bucket = by_name.setdefault(
+            entry["name"], {"cat": entry.get("cat", "run"),
+                            "count": 0, "total_us": 0, "max_us": 0}
+        )
+        bucket["count"] += 1
+        bucket["total_us"] += entry["dur_us"]
+        bucket["max_us"] = max(bucket["max_us"], entry["dur_us"])
+    rows = [
+        [
+            name, info["cat"], info["count"],
+            info["total_us"] / 1e6,
+            info["total_us"] / info["count"] / 1e3,
+            info["max_us"] / 1e3,
+        ]
+        for name, info in sorted(
+            by_name.items(), key=lambda item: -item[1]["total_us"]
+        )
+    ]
+    print(format_table(
+        ["span", "cat", "count", "total s", "mean ms", "max ms"], rows,
+        title=f"{args.log}: {len(spans)} spans",
+    ))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -768,6 +903,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_submit(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
+        if args.command == "spans":
+            return _cmd_spans(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -50,6 +50,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.engine.spec import RunSpec, arena_for_spec, execute_spec, trace_key
 from repro.engine.store import ResultStore
 from repro.gpu.stats import SimulationResult
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.spans import span
 
 __all__ = [
     "ExperimentEngine", "OutcomeCallback", "ProgressCallback",
@@ -59,6 +61,18 @@ __all__ = [
 
 #: environment knob for the default worker-pool width
 WORKERS_ENV = "REPRO_WORKERS"
+
+# sweep-level accounting, exposed as repro_engine_* at GET /metrics.
+# Pool workers are separate processes -- their executions are settled
+# (and therefore counted) in the parent, so these stay accurate under
+# every pool flavour.
+_SWEEPS = REGISTRY.counter(
+    "repro_engine_sweeps", "run_specs batches executed")
+_RUNS = REGISTRY.counter(
+    "repro_engine_runs", "Run outcomes settled, by source",
+    labelnames=("source",))
+_SWEEP_SECONDS = REGISTRY.histogram(
+    "repro_engine_sweep_seconds", "Wall-time of run_specs batches")
 
 
 @dataclass
@@ -189,6 +203,20 @@ class ExperimentEngine:
         then fresh results/errors in completion order) -- duplicates of
         one digest fire it once.
         """
+        _SWEEPS.inc()
+        sweep_started = time.monotonic()
+        with span("sweep", cat="job", specs=len(specs)) as attrs:
+            outcomes = self._run_specs(specs, progress, on_outcome)
+            attrs["outcomes"] = len(outcomes)
+        _SWEEP_SECONDS.observe(time.monotonic() - sweep_started)
+        return outcomes
+
+    def _run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[ProgressCallback],
+        on_outcome: Optional[OutcomeCallback],
+    ) -> List[RunOutcome]:
         progress = progress or self.progress
         specs = list(specs)
         outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
@@ -225,6 +253,7 @@ class ExperimentEngine:
                     spec=spec, key=digest, result=stored, source="store"
                 )
                 counters["store"] += 1
+                _RUNS.labels("store").inc()
                 if on_outcome is not None:
                     on_outcome(outcome)
             else:
@@ -245,10 +274,12 @@ class ExperimentEngine:
                 outcome.error = error
                 outcome.source = "error"
                 counters["errors"] += 1
+                _RUNS.labels("error").inc()
             else:
                 outcome.result = result
                 outcome.source = "fresh"
                 counters["fresh"] += 1
+                _RUNS.labels("fresh").inc()
                 if self.store is not None:
                     self.store.put(outcome.spec, result)
             completed += 1
@@ -378,11 +409,16 @@ class ExperimentEngine:
         scale: str = "bench",
         seed: int = 0,
         num_sms: Optional[int] = None,
+        timeline_interval: int = 0,
         progress: Optional[ProgressCallback] = None,
     ) -> Tuple[Dict[str, Dict[str, SimulationResult]], List[RunOutcome]]:
         """Run a configs x workloads grid.
 
         *configs* entries may be names or :class:`L1DConfig` instances.
+        A non-zero *timeline_interval* turns on the in-simulation
+        timeline sampler (one row per that many cycles; see
+        ``docs/observability.md``) and becomes part of each run's
+        identity.
 
         Returns:
             ``({workload: {config_name: result}}, outcomes)`` -- failed
@@ -395,6 +431,7 @@ class ExperimentEngine:
             RunSpec.build(
                 config, workload, gpu_profile=gpu_profile, scale=scale,
                 seed=seed, num_sms=num_sms,
+                timeline_interval=timeline_interval,
             )
             for workload in workloads
             for config in configs

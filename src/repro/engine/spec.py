@@ -39,6 +39,8 @@ from repro.engine.serialize import config_to_dict
 from repro.gpu.config import GPUConfig, fermi_like, volta_like
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.stats import SimulationResult
+from repro.telemetry.spans import span
+from repro.telemetry.timeline import TimelineSampler
 from repro.workloads.benchmarks import TRACE_PREFIX, benchmark
 from repro.workloads.trace import TraceScale
 
@@ -102,6 +104,13 @@ class RunSpec:
     bytes must never satisfy each other from the result store, and
     :func:`execute_spec` refuses to run against a file that changed
     after the spec was built.
+
+    ``timeline_interval`` opts the run into timeline sampling (a
+    sample every that many cycles; 0 -- the default -- disables it).
+    It is part of the run identity *only when set*: sampling never
+    perturbs the simulation, but a stored result either carries the
+    series or it does not, so timeline runs key separately while every
+    pre-existing key stays byte-identical.
     """
 
     l1d: L1DConfig
@@ -112,6 +121,7 @@ class RunSpec:
     num_sms: int = 15
     trace_salt: int = 0
     trace_sha256: Optional[str] = None
+    timeline_interval: int = 0
 
     @classmethod
     def build(
@@ -123,6 +133,7 @@ class RunSpec:
         seed: int = 0,
         num_sms: Optional[int] = None,
         trace_salt: Optional[int] = None,
+        timeline_interval: int = 0,
     ) -> "RunSpec":
         """Resolve a named or custom L1D config into a spec.
 
@@ -158,10 +169,14 @@ class RunSpec:
             )
             seed = meta.seed
             trace_salt = meta.trace_salt
+        if timeline_interval < 0:
+            raise ValueError(
+                f"timeline_interval must be >= 0: {timeline_interval}"
+            )
         return cls(
             l1d=cfg, workload=workload, gpu_profile=gpu_profile,
             scale=scale, seed=seed, num_sms=num_sms, trace_salt=trace_salt,
-            trace_sha256=trace_hash,
+            trace_sha256=trace_hash, timeline_interval=timeline_interval,
         )
 
     def key(self) -> "RunKey":
@@ -213,6 +228,10 @@ def spec_to_dict(spec: RunSpec) -> Dict:
     }
     if spec.trace_sha256 is not None:
         payload["trace_sha256"] = spec.trace_sha256
+    if spec.timeline_interval:
+        # included only when sampling is on, so the identities (and
+        # store keys) of every non-timeline run are unchanged
+        payload["timeline_interval"] = spec.timeline_interval
     return payload
 
 
@@ -227,6 +246,8 @@ def trace_key(spec: RunSpec) -> str:
     payload = spec_to_dict(spec)
     del payload["l1d"]
     del payload["gpu_profile"]
+    # timeline sampling observes the run without touching the trace
+    payload.pop("timeline_interval", None)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -315,22 +336,32 @@ def execute_spec(spec: RunSpec, arena_dir=None) -> SimulationResult:
     machine = gpu_profile(spec.gpu_profile).with_overrides(
         num_sms=spec.num_sms
     )
-    arena = arena_for_spec(spec, arena_dir=arena_dir)
+    with span("arena", workload=spec.workload):
+        arena = arena_for_spec(spec, arena_dir=arena_dir)
     # the arena is authoritative for the machine shape: generated
     # workloads echo the spec's values back, while trace replays carry
     # their header's shape (which the spec's preset-named scale cannot
     # express for external traces)
     if arena.num_sms != machine.num_sms:
         machine = machine.with_overrides(num_sms=arena.num_sms)
+    sampler = (
+        TimelineSampler(spec.timeline_interval)
+        if spec.timeline_interval else None
+    )
     simulator = GPUSimulator(
         machine,
         l1d_factory=lambda: make_l1d(spec.l1d),
         warps_per_sm=arena.warps_per_sm,
         arena=arena,
+        sampler=sampler,
     )
-    result = simulator.run(
-        workload_name=spec.workload, config_name=spec.l1d.name
-    )
+    with span(
+        "simulate", config=spec.l1d.name, workload=spec.workload
+    ) as attrs:
+        result = simulator.run(
+            workload_name=spec.workload, config_name=spec.l1d.name
+        )
+        attrs["cycles"] = result.cycles
     result.energy = compute_energy(
         result,
         l1d_params=l1d_energy_params(spec.l1d.name),

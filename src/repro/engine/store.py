@@ -54,6 +54,8 @@ from repro.engine.serialize import (
 )
 from repro.engine.spec import RunKey, RunSpec, spec_to_dict
 from repro.gpu.stats import SimulationResult
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.spans import span
 
 __all__ = [
     "DEFAULT_STORE_DIR", "ResultStore", "default_store_path",
@@ -61,6 +63,17 @@ __all__ = [
 
 #: default on-disk location (under the user cache directory)
 DEFAULT_STORE_DIR = "~/.cache/repro"
+
+# process-wide store accounting (all ResultStore instances); exposed as
+# repro_store_* at GET /metrics
+_GETS_HIT = REGISTRY.counter(
+    "repro_store_gets_hit", "Store lookups served from disk")
+_GETS_MISS = REGISTRY.counter(
+    "repro_store_gets_miss", "Store lookups that found nothing")
+_PUTS = REGISTRY.counter(
+    "repro_store_puts", "Result records appended")
+_COMPACTIONS = REGISTRY.counter(
+    "repro_store_compactions", "Store files rewritten by compact()")
 
 
 def _flock(handle, exclusive: bool, blocking: bool = True) -> bool:
@@ -177,7 +190,9 @@ class ResultStore:
         digest = key.digest if isinstance(key, RunKey) else key
         record = self._index.get(digest)
         if record is None:
+            _GETS_MISS.inc()
             return None
+        _GETS_HIT.inc()
         return result_from_dict(record["result"])
 
     def put(self, spec: RunSpec, result: SimulationResult) -> RunKey:
@@ -196,16 +211,18 @@ class ResultStore:
             "result": result_to_dict(result),
         }
         line = json.dumps(record, sort_keys=True) + "\n"
-        if self._batch_handle is not None:
-            self._batch_handle.write(line)
-            self._batch_pending += 1
-            if self._batch_pending >= self._batch_flush_every:
-                self.flush()
-        else:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self._open_locked_append() as handle:
-                handle.write(line)
+        with span("store_put", key=key.digest[:12]):
+            if self._batch_handle is not None:
+                self._batch_handle.write(line)
+                self._batch_pending += 1
+                if self._batch_pending >= self._batch_flush_every:
+                    self.flush()
+            else:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with self._open_locked_append() as handle:
+                    handle.write(line)
         self._index[key.digest] = record
+        _PUTS.inc()
         return key
 
     def flush(self) -> None:
@@ -321,4 +338,5 @@ class ResultStore:
                     handle.write(json.dumps(record, sort_keys=True) + "\n")
             tmp.replace(self.path)
         self._stale_records = 0
+        _COMPACTIONS.inc()
         return len(self._index)

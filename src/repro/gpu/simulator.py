@@ -51,6 +51,7 @@ from repro.gpu.stats import (
 )
 from repro.gpu.warp import Warp
 from repro.memory.subsystem import MemorySubsystem
+from repro.telemetry.timeline import SAMPLER_STOP, TimelineSampler
 from repro.workloads.arena import PackedTraceArena
 from repro.workloads.trace import WarpInstruction
 
@@ -81,6 +82,14 @@ class GPUSimulator:
         arena: a pre-packed trace arena to replay (its shape must match
             the machine being built); the compile-once path used by
             :func:`~repro.engine.spec.execute_spec`.
+        sampler: an optional
+            :class:`~repro.telemetry.timeline.TimelineSampler`; when
+            given, the run loop snapshots machine-wide counters every
+            sampler interval and the result carries the
+            :class:`~repro.telemetry.timeline.Timeline`.  When absent
+            (the default) the loop pays one integer compare per
+            iteration against an unreachable sentinel -- nothing is
+            allocated or read.
     """
 
     def __init__(
@@ -93,10 +102,12 @@ class GPUSimulator:
         warps_per_sm: Optional[int] = None,
         max_cycles: int = 50_000_000,
         arena: Optional[PackedTraceArena] = None,
+        sampler: Optional["TimelineSampler"] = None,
     ) -> None:
         self.config = config
         self.memory = MemorySubsystem(config)
         self.max_cycles = max_cycles
+        self.sampler = sampler
         self._events: List = []
         self._event_seq = 0
         self.cycle = 0
@@ -234,6 +245,11 @@ class GPUSimulator:
         wake_heap: List = []
         wakeups = self._wakeups
         max_cycles = self.max_cycles
+        # timeline sampling: with no sampler, sample_at is an
+        # unreachable sentinel and the per-iteration cost is one
+        # integer compare (the disabled path allocates nothing)
+        sampler = self.sampler
+        sample_at = sampler.interval if sampler is not None else SAMPLER_STOP
 
         while True:
             if events and events[0][0] <= self.cycle:
@@ -272,6 +288,9 @@ class GPUSimulator:
                     )
                 self.cycle = nxt if nxt > cycle else cycle + 1
 
+            if self.cycle >= sample_at:
+                sample_at = sampler.sample(self.cycle, sms, self.memory)
+
             if self.cycle > max_cycles:
                 raise RuntimeError(
                     f"exceeded max_cycles={self.max_cycles}; aborting"
@@ -281,6 +300,12 @@ class GPUSimulator:
         self._run_due_events()
         for sm in sms:
             sm.l1d.flush_metadata()
+
+        timeline = None
+        if sampler is not None:
+            # the end-of-run row makes even a truncated timeline
+            # reconcile exactly with the aggregate stats below
+            timeline = sampler.finalize(self.cycle, sms, self.memory)
 
         return SimulationResult(
             config_name=config_name,
@@ -294,4 +319,5 @@ class GPUSimulator:
             load_transactions=sum(sm.load_transactions for sm in sms),
             store_transactions=sum(sm.store_transactions for sm in sms),
             retries=sum(sm.retries for sm in sms),
+            timeline=timeline,
         )

@@ -111,11 +111,15 @@ class SweepRequest:
     scale: str = "test"
     seed: int = 0
     num_sms: Optional[int] = None
+    #: cycles between timeline samples (0 = sampling off); part of run
+    #: identity when set, so sampled and unsampled runs key separately
+    timeline: int = 0
 
     #: payload keys from_payload accepts (anything else is a 400: typos
     #: like "workload" must not silently produce a default sweep)
     FIELDS = (
         "configs", "workloads", "gpu_profile", "scale", "seed", "num_sms",
+        "timeline",
     )
 
     @classmethod
@@ -187,9 +191,13 @@ class SweepRequest:
             num_sms = _int_field(
                 num_sms, "num_sms", minimum=1, maximum=MAX_NUM_SMS
             )
+        timeline = _int_field(
+            payload.get("timeline", 0), "timeline", minimum=0
+        )
         return cls(
             configs=tuple(configs), workloads=tuple(workloads),
             gpu_profile=gpu_profile, scale=scale, seed=seed, num_sms=num_sms,
+            timeline=timeline,
         )
 
     def to_specs(self) -> List[RunSpec]:
@@ -205,6 +213,7 @@ class SweepRequest:
                 RunSpec.build(
                     config, workload, gpu_profile=self.gpu_profile,
                     scale=self.scale, seed=self.seed, num_sms=self.num_sms,
+                    timeline_interval=self.timeline,
                 )
                 for workload in self.workloads
                 for config in self.configs
@@ -220,6 +229,7 @@ class SweepRequest:
             "scale": self.scale,
             "seed": self.seed,
             "num_sms": self.num_sms,
+            "timeline": self.timeline,
         }
 
 

@@ -33,12 +33,15 @@ from __future__ import annotations
 import asyncio
 import collections
 import threading
+import time
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.engine.engine import ExperimentEngine, RunOutcome
 from repro.engine.serialize import result_to_dict
 from repro.engine.spec import RunSpec, spec_to_dict
 from repro.service.jobs import Job, SweepRequest
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import record_span
 
 __all__ = [
     "DEFAULT_MAX_ACTIVE", "DEFAULT_MAX_QUEUE", "Draining", "JobScheduler",
@@ -104,14 +107,80 @@ class JobScheduler:
         # engine entries are serialised: the store's batched handle (and
         # the engine's settle bookkeeping) is single-threaded by design
         self._engine_lock = threading.Lock()
-        self.metrics: Dict[str, int] = {
-            "jobs_submitted": 0,
-            "jobs_executed": 0,
-            "jobs_coalesced": 0,
-            "keys_coalesced": 0,
-            "runs_store": 0,
-            "runs_fresh": 0,
-            "runs_error": 0,
+        # per-scheduler registry: concurrent services in one process
+        # (tests run many) must never see each other's counters.  The
+        # HTTP layer renders this together with the process-wide
+        # REGISTRY (arena/store/engine families).
+        self.registry = MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"repro_service_{name}", help_text)
+            for name, help_text in (
+                ("jobs_submitted", "Sweep jobs accepted (new, not coalesced)"),
+                ("jobs_executed", "Jobs whose execution started"),
+                ("jobs_coalesced",
+                 "Submissions attached to an identical in-flight job"),
+                ("keys_coalesced",
+                 "Run keys awaited from another job's in-flight execution"),
+                ("runs_store", "Runs served from the result store/cache"),
+                ("runs_fresh", "Runs simulated by this service"),
+                ("runs_error", "Runs that settled with an error"),
+            )
+        }
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Expose live scheduler state as read-at-scrape-time gauges."""
+        gauges = (
+            ("queue_depth", "Jobs waiting to start",
+             lambda: len(self._waiting)),
+            ("queue_limit", "Waiting-job bound (429 past it)",
+             lambda: self.max_queue),
+            ("active_jobs", "Jobs executing right now",
+             lambda: len(self._active)),
+            ("max_active", "Concurrent-job bound",
+             lambda: self.max_active),
+            ("draining", "1 while shutting down, else 0",
+             lambda: int(self.draining)),
+            ("result_cache_records", "In-memory completed-run records",
+             lambda: len(self._records)),
+            ("store_hit_rate", "runs_store / (runs_store + runs_fresh)",
+             self._store_hit_rate),
+        )
+        for name, help_text, fn in gauges:
+            self.registry.gauge(
+                f"repro_service_{name}", help_text
+            ).set_function(fn)
+        jobs_by_state = self.registry.gauge(
+            "repro_service_jobs", "Known jobs by state",
+            labelnames=("state",),
+        )
+        for state in ("queued", "running", "done", "failed"):
+            jobs_by_state.labels(state).set_function(
+                lambda state=state: sum(
+                    1 for job in self.jobs.values() if job.state == state
+                )
+            )
+        if self.engine.store is not None:
+            self.registry.gauge(
+                "repro_service_store_records", "Live result-store records"
+            ).set_function(lambda: self.engine.store.info()["records"])
+            self.registry.gauge(
+                "repro_service_store_size_bytes", "Result-store file size"
+            ).set_function(lambda: self.engine.store.info()["size_bytes"])
+
+    def _store_hit_rate(self) -> float:
+        served = (
+            self._counters["runs_store"].value
+            + self._counters["runs_fresh"].value
+        )
+        return self._counters["runs_store"].value / served if served else 0.0
+
+    @property
+    def metrics(self) -> Dict[str, int]:
+        """The historical counter-dict view (read-only snapshot)."""
+        return {
+            name: int(counter.value)
+            for name, counter in self._counters.items()
         }
 
     # ------------------------------------------------------------------
@@ -148,7 +217,7 @@ class JobScheduler:
         job = Job(request, specs if specs is not None else request.to_specs())
         existing = self.jobs.get(job.id)
         if existing is not None and not existing.done:
-            self.metrics["jobs_coalesced"] += 1
+            self._counters["jobs_coalesced"].inc()
             return existing, False
         # a job that can start immediately never counts against the
         # waiting bound; only jobs that would actually queue do
@@ -160,7 +229,12 @@ class JobScheduler:
                 f"queue full ({len(self._waiting)}/{self.max_queue} "
                 "jobs waiting)"
             )
-        self.metrics["jobs_submitted"] += 1
+        self._counters["jobs_submitted"].inc()
+        submitted_ns = time.time_ns()
+        record_span(
+            "submit", submitted_ns, submitted_ns, cat="job",
+            args={"job": job.id[:12], "total": len(job.specs)},
+        )
         self.jobs[job.id] = job
         self._waiting.append(job)
         self._prune_history()
@@ -195,7 +269,8 @@ class JobScheduler:
     # ------------------------------------------------------------------
     async def _run_job(self, job: Job) -> None:
         """Execute one job: cache, attach, dispatch, settle, finish."""
-        self.metrics["jobs_executed"] += 1
+        self._counters["jobs_executed"].inc()
+        job_started_ns = time.time_ns()
         job.mark_running()
         self._emit(job, {"event": "state", "state": "running"})
 
@@ -206,7 +281,7 @@ class JobScheduler:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 # single-flight: someone else is simulating this key
-                self.metrics["keys_coalesced"] += 1
+                self._counters["keys_coalesced"].inc()
                 attached[key] = inflight
             elif key in self._records:
                 self._records.move_to_end(key)
@@ -254,6 +329,14 @@ class JobScheduler:
             )
 
         job.finish(failure)
+        record_span(
+            "job", job_started_ns, time.time_ns(), cat="job",
+            args={
+                "job": job.id[:12], "state": job.state,
+                "total": job.counters["total"],
+                "dispatched": len(dispatch), "attached": len(attached),
+            },
+        )
         self._emit(job, {"event": "done", "job": job.snapshot()})
 
     # ------------------------------------------------------------------
@@ -277,11 +360,11 @@ class JobScheduler:
     ) -> None:
         """Record one run settlement and stream it to subscribers."""
         if source == "error":
-            self.metrics["runs_error"] += 1
+            self._counters["runs_error"].inc()
         elif source == "fresh":
-            self.metrics["runs_fresh"] += 1
+            self._counters["runs_fresh"].inc()
         elif source == "store":
-            self.metrics["runs_store"] += 1
+            self._counters["runs_store"].inc()
         job.settle_run(key, source, error)
         self._emit(job, {
             "event": "run", "key": key, "source": source, "error": error,
@@ -355,8 +438,14 @@ class JobScheduler:
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, object]:
-        """Counters for /metrics (scheduler + store view)."""
-        served = self.metrics["runs_store"] + self.metrics["runs_fresh"]
+        """Counters for /healthz and tests (scheduler + store view).
+
+        ``GET /metrics`` no longer renders from this: it serves the
+        Prometheus exposition of :attr:`registry` (same numbers, real
+        format).
+        """
+        counters = self.metrics
+        served = counters["runs_store"] + counters["runs_fresh"]
         out: Dict[str, object] = {
             "queue_depth": self.queue_depth,
             "queue_limit": self.max_queue,
@@ -364,9 +453,9 @@ class JobScheduler:
             "max_active": self.max_active,
             "draining": int(self.draining),
             "result_cache_records": len(self._records),
-            **self.metrics,
+            **counters,
             "store_hit_rate": (
-                self.metrics["runs_store"] / served if served else 0.0
+                counters["runs_store"] / served if served else 0.0
             ),
         }
         for state in ("queued", "running", "done", "failed"):

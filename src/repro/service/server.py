@@ -12,15 +12,23 @@ Endpoints (see ``docs/service-api.md`` for payload shapes):
   by a ``done`` event carrying the final snapshot.
 * ``GET /v1/results?key=...``  -- a completed run's record (spec +
   result) by run-key digest, served from cache without simulating.
+* ``GET /v1/jobs/{id}/timeline`` -- the sampled per-run timelines of a
+  job submitted with ``"timeline": <interval>`` (null per run until it
+  settles or when sampling was off).
 * ``GET /healthz``             -- liveness (``draining`` while
   shutting down).
-* ``GET /metrics``             -- text metrics: queue depth, store
-  hit rate, jobs/runs served, single-flight coalescing counters.
+* ``GET /metrics``             -- Prometheus text exposition (format
+  0.0.4) of the scheduler's registry plus the process-wide one: queue
+  depth, store hit rate, jobs/runs served, coalescing counters,
+  request counts/latency, arena + store + engine families.
 
 Operational behaviour: request bodies are bounded (413 past
 ``max_body``), non-sweep methods get 405, unknown paths 404; SIGTERM /
 SIGINT triggers a graceful drain -- the listener closes, queued and
-active jobs finish, then the process exits.
+active jobs finish, then the process exits.  With
+``REPRO_SERVICE_ACCESS_LOG=<path>`` every request appends one JSONL
+line (ts, method, path, status, duration_ms, bytes_out, job id when a
+submission created/coalesced one).
 
 Every knob has a ``REPRO_SERVICE_*`` environment default so ``repro
 serve`` deployments can be configured without flags.
@@ -47,6 +55,11 @@ from repro.service.scheduler import (
     Draining,
     JobScheduler,
     QueueFull,
+)
+from repro.telemetry.metrics import (
+    CONTENT_TYPE as METRICS_CONTENT_TYPE,
+    REGISTRY,
+    render_exposition,
 )
 
 __all__ = [
@@ -123,6 +136,51 @@ def _json_response(
     )
 
 
+class _Responder:
+    """StreamWriter proxy that records what the handler sent.
+
+    Sniffs the status code off the response head (the first write
+    always starts with ``HTTP/1.1 ``), counts bytes out, and carries
+    the ``job`` id a submit handler attaches -- everything the access
+    log and the request metrics need, without threading a context
+    object through every handler.
+    """
+
+    __slots__ = ("_writer", "status", "bytes_out", "job")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.status: Optional[int] = None
+        self.bytes_out = 0
+        self.job: Optional[str] = None
+
+    def write(self, data: bytes) -> None:
+        if self.status is None and data.startswith(b"HTTP/1.1 "):
+            try:
+                self.status = int(data[9:12])
+            except ValueError:
+                pass
+        self.bytes_out += len(data)
+        self._writer.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._writer, name)
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path into a bounded metrics label."""
+    if path in ("/healthz", "/metrics", "/v1/sweeps", "/v1/results"):
+        return path
+    if path.startswith("/v1/jobs/"):
+        rest = path[len("/v1/jobs/"):]
+        if rest.endswith("/events"):
+            return "/v1/jobs/{id}/events"
+        if rest.endswith("/timeline"):
+            return "/v1/jobs/{id}/timeline"
+        return "/v1/jobs/{id}"
+    return "other"
+
+
 class SimulationService:
     """The HTTP front of a :class:`JobScheduler`.
 
@@ -140,15 +198,32 @@ class SimulationService:
         port: int = DEFAULT_PORT,
         max_body: int = DEFAULT_MAX_BODY,
         allow_traces: bool = False,
+        access_log: Optional[str] = None,
     ) -> None:
         self.scheduler = scheduler
         self.host = host
         self.port = port
         self.max_body = max_body
         self.allow_traces = allow_traces
+        self.access_log = access_log or None
+        self._access_handle = None
         self.started = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop = asyncio.Event()
+        # request-level metrics live in the scheduler's registry so one
+        # /metrics scrape covers the whole service instance
+        registry = scheduler.registry
+        registry.gauge(
+            "repro_service_uptime_seconds", "Seconds since service start"
+        ).set_function(lambda: time.monotonic() - self.started)
+        self._requests = registry.counter(
+            "repro_service_requests", "HTTP requests served",
+            labelnames=("route", "status"),
+        )
+        self._request_seconds = registry.histogram(
+            "repro_service_request_seconds", "HTTP request wall-time",
+            labelnames=("route",),
+        )
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -201,26 +276,70 @@ class SimulationService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = time.monotonic()
+        responder = _Responder(writer)
+        method: Optional[str] = None
+        target: Optional[str] = None
         try:
             try:
                 method, target, headers = await self._read_head(reader)
                 body = await self._read_body(reader, headers)
-                await self._route(method, target, body, writer)
+                await self._route(method, target, body, responder)
             except _HTTPError as error:
-                writer.write(_json_response(
+                responder.write(_json_response(
                     error.status, {"error": error.message},
                 ))
             except ValueError as error:
                 # e.g. a request/header line over the StreamReader limit
-                writer.write(_json_response(400, {"error": str(error)}))
+                responder.write(_json_response(400, {"error": str(error)}))
         except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
             pass  # client went away mid-request/mid-stream
         finally:
+            self._account_request(
+                method, target, responder, time.monotonic() - started
+            )
             with contextlib.suppress(Exception):
                 writer.write_eof()
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
+
+    def _account_request(
+        self,
+        method: Optional[str],
+        target: Optional[str],
+        responder: _Responder,
+        duration_s: float,
+    ) -> None:
+        """Count one finished request and append the access-log line."""
+        if method is None or target is None:
+            return  # connection died before a parseable request line
+        path = urlsplit(target).path.rstrip("/") or "/"
+        route = _route_label(path)
+        self._requests.labels(route, str(responder.status or 0)).inc()
+        self._request_seconds.labels(route).observe(duration_s)
+        if self.access_log is None:
+            return
+        if self._access_handle is None:
+            try:
+                self._access_handle = open(
+                    self.access_log, "a", encoding="utf-8"
+                )
+            except OSError:
+                self.access_log = None  # unwritable: disable, don't die
+                return
+        line = json.dumps({
+            "ts": time.time(),
+            "method": method,
+            "path": path,
+            "status": responder.status or 0,
+            "duration_ms": round(duration_s * 1000.0, 3),
+            "bytes_out": responder.bytes_out,
+            "job": responder.job,
+        }, sort_keys=True)
+        with contextlib.suppress(OSError):
+            self._access_handle.write(line + "\n")
+            self._access_handle.flush()
 
     @staticmethod
     async def _read_line(reader: asyncio.StreamReader, what: str) -> bytes:
@@ -298,9 +417,10 @@ class SimulationService:
             ))
             return
         if path == "/metrics" and method == "GET":
+            exposition = render_exposition(self.scheduler.registry, REGISTRY)
             writer.write(_response(
-                200, self._metrics_text().encode(),
-                content_type="text/plain; charset=utf-8",
+                200, exposition.encode(),
+                content_type=METRICS_CONTENT_TYPE,
             ))
             return
         if path == "/v1/sweeps":
@@ -322,6 +442,11 @@ class SimulationService:
             if rest.endswith("/events"):
                 await self._handle_events(rest[: -len("/events")].rstrip("/"),
                                           writer)
+                return
+            if rest.endswith("/timeline"):
+                self._handle_timeline(
+                    rest[: -len("/timeline")].rstrip("/"), writer
+                )
                 return
             if "/" not in rest:
                 job = self.scheduler.jobs.get(rest)
@@ -357,6 +482,7 @@ class SimulationService:
             return
         except Draining as error:
             raise _HTTPError(503, str(error))
+        writer.job = job.id
         writer.write(_json_response(
             202,
             {
@@ -411,18 +537,36 @@ class SimulationService:
         finally:
             self.scheduler.unsubscribe(job_id, queue)
 
-    # ------------------------------------------------------------------
-    def _metrics_text(self) -> str:
-        snapshot = self.scheduler.metrics_snapshot()
-        lines = [
-            f"repro_service_uptime_seconds "
-            f"{time.monotonic() - self.started:.3f}"
-        ]
-        for name in sorted(snapshot):
-            value = snapshot[name]
-            rendered = f"{value:.6f}" if isinstance(value, float) else value
-            lines.append(f"repro_service_{name} {rendered}")
-        return "\n".join(lines) + "\n"
+    def _handle_timeline(self, job_id: str, writer) -> None:
+        """GET /v1/jobs/{id}/timeline: the sampled series per run.
+
+        Each run entry carries its timeline payload (interval,
+        truncated flag, cumulative columns -- see
+        :mod:`repro.telemetry.timeline`) or ``null`` while the run is
+        unsettled, errored, or was executed without sampling.
+        """
+        job = self.scheduler.jobs.get(job_id)
+        if job is None:
+            raise _HTTPError(404, f"unknown job {job_id}")
+        runs = []
+        for key, run in job.runs.items():
+            timeline = None
+            record = self.scheduler.result_record(key)
+            if record is not None:
+                timeline = (record.get("result") or {}).get("timeline")
+            runs.append({
+                "key": key,
+                "config": run.config,
+                "workload": run.workload,
+                "state": run.state,
+                "timeline": timeline,
+            })
+        writer.write(_json_response(200, {
+            "job": job.id,
+            "state": job.state,
+            "interval": job.request.timeline,
+            "runs": runs,
+        }))
 
 
 def _sse_event(name: str, payload: dict) -> bytes:
@@ -442,13 +586,16 @@ def build_service(
     max_active: Optional[int] = None,
     max_body: Optional[int] = None,
     allow_traces: Optional[bool] = None,
+    access_log: Optional[str] = None,
 ) -> SimulationService:
     """Assemble engine -> scheduler -> service with env-var defaults.
 
     ``REPRO_SERVICE_QUEUE`` / ``REPRO_SERVICE_ACTIVE`` /
     ``REPRO_SERVICE_MAX_BODY`` fill unspecified bounds;
     ``REPRO_SERVICE_ALLOW_TRACES=1`` opts in to ``trace:<path>``
-    workloads (server-side file access -- off by default).  The store
+    workloads (server-side file access -- off by default);
+    ``REPRO_SERVICE_ACCESS_LOG=<path>`` turns on the structured
+    per-request JSONL access log.  The store
     resolves like the CLI's (explicit path, else ``REPRO_STORE``, else
     the user cache directory; ``no_store`` disables persistence -- the
     scheduler's in-memory record mirror still dedupes within the
@@ -483,6 +630,11 @@ def build_service(
             allow_traces if allow_traces is not None
             else os.environ.get("REPRO_SERVICE_ALLOW_TRACES", "").strip()
             in ("1", "true", "yes")
+        ),
+        access_log=(
+            access_log if access_log is not None
+            else os.environ.get("REPRO_SERVICE_ACCESS_LOG", "").strip()
+            or None
         ),
     )
 

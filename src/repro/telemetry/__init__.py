@@ -1,0 +1,67 @@
+"""Unified telemetry layer: metrics, spans, timelines.
+
+Three observability primitives with disjoint jobs (see
+``docs/observability.md``):
+
+* :mod:`repro.telemetry.metrics` -- process-wide **metrics registry**
+  (counters / gauges / histograms, labeled families, Prometheus text
+  exposition).  Answers "how is the service doing right now".
+* :mod:`repro.telemetry.spans` -- **phase-span tracing** to a JSONL
+  log with Chrome ``trace_event`` export.  Answers "where did this
+  sweep's wall-time go".
+* :mod:`repro.telemetry.timeline` -- the opt-in **in-simulation
+  timeline sampler**.  Answers "what did the simulated machine do over
+  simulated time".
+
+Everything is stdlib-only and off-by-default on the simulator's hot
+path: metrics live in the service/engine layers, spans cost one check
+when disabled, and the sampler is a sentinel compare when off.
+"""
+
+from repro.telemetry.metrics import (
+    CONTENT_TYPE,
+    DEFAULT_BUCKETS,
+    MAX_LABEL_SETS,
+    MetricsRegistry,
+    REGISTRY,
+    render_exposition,
+)
+from repro.telemetry.spans import (
+    disable_spans,
+    enable_spans,
+    export_chrome_trace,
+    read_spans,
+    record_span,
+    span,
+    span_log_path,
+    spans_enabled,
+)
+from repro.telemetry.timeline import (
+    COLUMNS,
+    Timeline,
+    TimelineSampler,
+    timeline_from_payload,
+    timeline_to_payload,
+)
+
+__all__ = [
+    "COLUMNS",
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "MAX_LABEL_SETS",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Timeline",
+    "TimelineSampler",
+    "disable_spans",
+    "enable_spans",
+    "export_chrome_trace",
+    "read_spans",
+    "record_span",
+    "render_exposition",
+    "span",
+    "span_log_path",
+    "spans_enabled",
+    "timeline_from_payload",
+    "timeline_to_payload",
+]

@@ -1,0 +1,224 @@
+"""Phase-span tracing: structured JSONL spans with Chrome export.
+
+A *span* is one named, timed phase of work -- ``trace_gen``,
+``arena_pack``, ``simulate``, ``store_put`` at the run level;
+``job``, ``sweep`` at the service level.  Spans land in a JSONL log
+(one object per line) that :func:`export_chrome_trace` converts to the
+Chrome ``trace_event`` format, so a whole sweep's concurrency --
+which runs packed, which coalesced, where the executor saturated --
+is inspectable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+
+Tracing is **off by default** and costs one attribute read per
+``span()`` call while off.  Enable it with the ``REPRO_SPANS``
+environment variable (a log path) or :func:`enable_spans`:
+
+.. code-block:: console
+
+    $ REPRO_SPANS=/tmp/sweep.spans.jsonl repro sweep ...
+    $ repro spans /tmp/sweep.spans.jsonl --chrome sweep.json
+
+Span line schema (``v`` pins it)::
+
+    {"v": 1, "name": "simulate", "cat": "run", "ts_us": ...,
+     "dur_us": ..., "pid": ..., "tid": ..., "args": {...}}
+
+``ts_us`` is ``time.time_ns() // 1000`` (wall-clock microseconds), so
+spans from concurrent processes -- the engine's fork/spawn pool
+workers inherit the log path through the environment -- interleave
+correctly on one timeline.  Writes are single ``write()`` calls on an
+append-mode handle, which POSIX keeps atomic for line-sized payloads;
+the writer reopens the log when it notices a pid change so forked
+workers never share a buffered handle with the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, TextIO
+
+__all__ = [
+    "SPAN_SCHEMA_VERSION", "disable_spans", "enable_spans",
+    "export_chrome_trace", "read_spans", "record_span", "span",
+    "spans_enabled", "span_log_path",
+]
+
+SPAN_SCHEMA_VERSION = 1
+
+#: environment knob: set to a path to enable span logging
+ENV_VAR = "REPRO_SPANS"
+
+_lock = threading.Lock()
+_path: Optional[str] = None
+_handle: Optional[TextIO] = None
+_handle_pid: Optional[int] = None
+
+
+def _configured_path() -> Optional[str]:
+    """The active log path: explicit enable wins, else the env knob."""
+    if _path is not None:
+        return _path
+    env = os.environ.get(ENV_VAR, "").strip()
+    return env or None
+
+
+def spans_enabled() -> bool:
+    return _configured_path() is not None
+
+
+def span_log_path() -> Optional[str]:
+    return _configured_path()
+
+
+def enable_spans(path: str) -> None:
+    """Route spans to *path* (overrides ``REPRO_SPANS``) and export it
+    to the environment so pool workers inherit the setting."""
+    global _path
+    with _lock:
+        _close_locked()
+        _path = str(path)
+    os.environ[ENV_VAR] = str(path)
+
+
+def disable_spans() -> None:
+    """Stop span logging and clear the environment knob (tests)."""
+    global _path
+    with _lock:
+        _close_locked()
+        _path = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def _close_locked() -> None:
+    global _handle, _handle_pid
+    if _handle is not None:
+        try:
+            _handle.close()
+        except OSError:  # pragma: no cover - close on a dead handle
+            pass
+    _handle = None
+    _handle_pid = None
+
+
+def _writer(path: str) -> Optional[TextIO]:
+    """The append handle for *path*, reopened after fork or path change."""
+    global _handle, _handle_pid
+    pid = os.getpid()
+    if _handle is not None and _handle_pid == pid and _handle.name == path:
+        return _handle
+    with _lock:
+        if (
+            _handle is not None and _handle_pid == pid
+            and _handle.name == path
+        ):
+            return _handle
+        _close_locked()
+        try:
+            _handle = open(path, "a", encoding="utf-8")
+        except OSError:
+            return None  # unwritable log never breaks the workload
+        _handle_pid = pid
+        return _handle
+
+
+def record_span(
+    name: str,
+    start_ns: int,
+    end_ns: int,
+    cat: str = "run",
+    args: Optional[Dict] = None,
+    tid: Optional[int] = None,
+) -> None:
+    """Append one finished span (for async phases timed by hand)."""
+    path = _configured_path()
+    if path is None:
+        return
+    handle = _writer(path)
+    if handle is None:
+        return
+    line = json.dumps(
+        {
+            "v": SPAN_SCHEMA_VERSION,
+            "name": name,
+            "cat": cat,
+            "ts_us": start_ns // 1000,
+            "dur_us": max(0, end_ns - start_ns) // 1000,
+            "pid": os.getpid(),
+            "tid": tid if tid is not None else threading.get_ident(),
+            "args": args or {},
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    try:
+        handle.write(line + "\n")
+        handle.flush()
+    except OSError:  # pragma: no cover - disk-full etc. must not kill runs
+        pass
+
+
+@contextmanager
+def span(name: str, cat: str = "run", **args) -> Iterator[Dict]:
+    """Time a phase; yields the span's mutable ``args`` dict so the body
+    can attach results (e.g. ``s["cycles"] = result.cycles``).
+
+    When tracing is off this is one function call and an empty dict --
+    nothing is formatted or written.
+    """
+    if _configured_path() is None:
+        yield {}
+        return
+    attrs = dict(args)
+    start = time.time_ns()
+    try:
+        yield attrs
+    finally:
+        record_span(name, start, time.time_ns(), cat=cat, args=attrs)
+
+
+# ----------------------------------------------------------------------
+# reading + Chrome trace_event export
+# ----------------------------------------------------------------------
+def read_spans(path: str) -> List[Dict]:
+    """Parse a span log, skipping blank/corrupt lines (a crash mid-write
+    must not make the whole log unreadable)."""
+    spans: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "name" in record:
+                spans.append(record)
+    return spans
+
+
+def export_chrome_trace(spans: List[Dict]) -> Dict:
+    """Convert span records to a Chrome ``trace_event`` JSON object.
+
+    Emits complete events (``"ph": "X"``) with timestamps normalised to
+    the earliest span, so Perfetto opens at t=0 instead of the epoch.
+    """
+    base = min((s.get("ts_us", 0) for s in spans), default=0)
+    events = [
+        {
+            "name": s.get("name", "?"),
+            "cat": s.get("cat", "run"),
+            "ph": "X",
+            "ts": s.get("ts_us", 0) - base,
+            "dur": s.get("dur_us", 0),
+            "pid": s.get("pid", 0),
+            "tid": s.get("tid", 0),
+            "args": s.get("args", {}),
+        }
+        for s in spans
+    ]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

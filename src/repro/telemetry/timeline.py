@@ -1,0 +1,238 @@
+"""Opt-in in-simulation timeline sampler.
+
+End-of-run aggregates (``SimulationResult``) answer *how much*; the
+timeline answers *when*.  A :class:`TimelineSampler` hooks into
+``GPUSimulator.run()``'s ready-set loop and, every ``interval``
+simulated cycles, snapshots a fixed set of machine-wide counters into
+compact ``array('q')`` columns -- no per-sample Python objects, no
+dictionaries on the hot path.  The columns are **cumulative** (each
+row is the running total at that cycle, except ``mshr_occupancy``
+which is instantaneous), so the final row reconciles exactly with the
+run's end-of-run ``CacheStats``/``MemorySystemStats`` and per-interval
+rates fall out as adjacent-row deltas (:meth:`Timeline.deltas`).
+
+Cost contract (pinned by ``bench_throughput.py --check``):
+
+* **disabled** (the default): the simulator compares the current cycle
+  against an unreachable sentinel once per loop iteration -- no
+  allocation, no attribute chasing;
+* **enabled**: one pass over the SMs per interval; row count is capped
+  at ``max_samples`` (periodic sampling stops past it and the timeline
+  is marked ``truncated``), and :meth:`finalize` always lands one last
+  row at the final cycle so the reconciliation property holds even for
+  truncated timelines.
+
+Sampling never perturbs simulation state -- it only *reads* counters
+the run maintains anyway -- so enabling it cannot change cycle counts
+or any other result field (golden parity holds with it on).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional
+
+__all__ = [
+    "COLUMNS", "SAMPLER_STOP", "Timeline", "TimelineSampler",
+    "timeline_from_payload", "timeline_to_payload",
+]
+
+#: column order of one sample row; all cumulative except
+#: ``mshr_occupancy`` (instantaneous machine-wide occupancy)
+COLUMNS = (
+    "cycle",
+    "instructions",
+    "l1d_accesses",
+    "l1d_hits",
+    "l1d_misses",
+    "l1d_merged_misses",
+    "l1d_bypasses",
+    "bank_wait_cycles",
+    "mshr_occupancy",
+    "offchip_reads",
+    "writeback_flits",
+)
+
+#: the "never sample" cycle threshold; past any reachable cycle count
+SAMPLER_STOP = 1 << 62
+
+
+class Timeline:
+    """The sampled series of one run (what ``RunOutcome`` carries)."""
+
+    __slots__ = ("interval", "columns", "truncated")
+
+    def __init__(
+        self,
+        interval: int,
+        columns: Dict[str, array],
+        truncated: bool = False,
+    ) -> None:
+        self.interval = interval
+        self.columns = columns
+        self.truncated = truncated
+
+    def __len__(self) -> int:
+        return len(self.columns["cycle"])
+
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> Dict[str, int]:
+        """One sample as a name -> cumulative-value dict."""
+        return {name: self.columns[name][index] for name in COLUMNS}
+
+    def rows(self) -> List[Dict[str, int]]:
+        return [self.row(i) for i in range(len(self))]
+
+    def deltas(self) -> List[Dict[str, float]]:
+        """Per-interval rates between adjacent samples.
+
+        Each entry covers ``(rows[i-1].cycle, rows[i].cycle]`` (the
+        first covers from cycle 0) and carries the derived series the
+        paper's figures need: ``ipc``, ``l1d_miss_rate``,
+        ``bypass_fraction`` plus raw deltas and the instantaneous
+        ``mshr_occupancy`` at the interval's end.
+        """
+        out: List[Dict[str, float]] = []
+        prev = {name: 0 for name in COLUMNS}
+        for i in range(len(self)):
+            row = self.row(i)
+            cycles = row["cycle"] - prev["cycle"]
+            d_instr = row["instructions"] - prev["instructions"]
+            d_acc = row["l1d_accesses"] - prev["l1d_accesses"]
+            d_miss = (
+                (row["l1d_misses"] - prev["l1d_misses"])
+                + (row["l1d_merged_misses"] - prev["l1d_merged_misses"])
+                + (row["l1d_bypasses"] - prev["l1d_bypasses"])
+            )
+            d_byp = row["l1d_bypasses"] - prev["l1d_bypasses"]
+            out.append({
+                "cycle": row["cycle"],
+                "instructions": d_instr,
+                "ipc": d_instr / cycles if cycles else 0.0,
+                "l1d_accesses": d_acc,
+                "l1d_miss_rate": d_miss / d_acc if d_acc else 0.0,
+                "bypass_fraction": d_byp / d_miss if d_miss else 0.0,
+                "bank_wait_cycles": (
+                    row["bank_wait_cycles"] - prev["bank_wait_cycles"]
+                ),
+                "mshr_occupancy": row["mshr_occupancy"],
+                "offchip_reads": (
+                    row["offchip_reads"] - prev["offchip_reads"]
+                ),
+                "writeback_flits": (
+                    row["writeback_flits"] - prev["writeback_flits"]
+                ),
+            })
+            prev = row
+        return out
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        """JSON-serialisable form (store records, HTTP responses)."""
+        return {
+            "interval": self.interval,
+            "truncated": self.truncated,
+            "columns": {
+                name: list(self.columns[name]) for name in COLUMNS
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Timeline":
+        columns = {
+            name: array("q", payload["columns"].get(name, ()))
+            for name in COLUMNS
+        }
+        return cls(
+            interval=int(payload["interval"]),
+            columns=columns,
+            truncated=bool(payload.get("truncated", False)),
+        )
+
+
+class TimelineSampler:
+    """Collects :data:`COLUMNS` snapshots every *interval* cycles.
+
+    Driven by the simulator: ``sample()`` records one row and returns
+    the next cycle threshold (or :data:`SAMPLER_STOP` past
+    *max_samples*); ``finalize()`` lands the end-of-run row and wraps
+    everything into a :class:`Timeline`.
+    """
+
+    __slots__ = ("interval", "max_samples", "_cols", "truncated")
+
+    def __init__(self, interval: int, max_samples: int = 4096) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive: {interval}")
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be positive: {max_samples}")
+        self.interval = int(interval)
+        self.max_samples = int(max_samples)
+        self._cols: Dict[str, array] = {
+            name: array("q") for name in COLUMNS
+        }
+        self.truncated = False
+
+    # ------------------------------------------------------------------
+    def _record(self, cycle: int, sms, memory) -> None:
+        instructions = 0
+        accesses = hits = misses = merged = bypasses = 0
+        bank_wait = 0
+        mshr = 0
+        for sm in sms:
+            instructions += sm.instructions
+            stats = sm.l1d.stats
+            accesses += stats.accesses
+            hits += stats.hits
+            misses += stats.misses
+            merged += stats.merged_misses
+            bypasses += stats.bypasses
+            bank_wait += stats.bank_wait_cycles
+            mshr += sm.l1d.mshr_occupancy()
+        mem = memory.stats
+        cols = self._cols
+        cols["cycle"].append(cycle)
+        cols["instructions"].append(instructions)
+        cols["l1d_accesses"].append(accesses)
+        cols["l1d_hits"].append(hits)
+        cols["l1d_misses"].append(misses)
+        cols["l1d_merged_misses"].append(merged)
+        cols["l1d_bypasses"].append(bypasses)
+        cols["bank_wait_cycles"].append(bank_wait)
+        cols["mshr_occupancy"].append(mshr)
+        cols["offchip_reads"].append(mem.reads)
+        cols["writeback_flits"].append(mem.writeback_flits)
+
+    def sample(self, cycle: int, sms, memory) -> int:
+        """Record one row at *cycle*; returns the next sample threshold
+        (:data:`SAMPLER_STOP` once *max_samples* rows exist)."""
+        self._record(cycle, sms, memory)
+        if len(self._cols["cycle"]) >= self.max_samples:
+            self.truncated = True
+            return SAMPLER_STOP
+        return cycle + self.interval
+
+    def finalize(self, cycle: int, sms, memory) -> Timeline:
+        """Land the end-of-run row (replacing a periodic row already at
+        *cycle* so post-run bookkeeping is reflected) and build the
+        :class:`Timeline`."""
+        cycles = self._cols["cycle"]
+        if cycles and cycles[-1] == cycle:
+            for col in self._cols.values():
+                col.pop()
+        self._record(cycle, sms, memory)
+        return Timeline(
+            interval=self.interval,
+            columns=self._cols,
+            truncated=self.truncated,
+        )
+
+
+def timeline_to_payload(timeline: Optional[Timeline]) -> Optional[Dict]:
+    """``None``-propagating :meth:`Timeline.as_dict` (serialisers)."""
+    return None if timeline is None else timeline.as_dict()
+
+
+def timeline_from_payload(payload: Optional[Dict]) -> Optional[Timeline]:
+    """``None``-propagating :meth:`Timeline.from_dict` (serialisers)."""
+    return None if payload is None else Timeline.from_dict(payload)

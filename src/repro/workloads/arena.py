@@ -37,6 +37,8 @@ import time
 from array import array
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Tuple
 
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.spans import record_span
 from repro.workloads.trace import COMPUTE, WarpInstruction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -114,6 +116,7 @@ class PackedTraceArena:
                 loudly here rather than exhaust memory.
         """
         started = time.perf_counter()
+        started_ns = time.time_ns()
         op_kind = array("b")
         op_pc = array("q")
         op_count = array("q")
@@ -140,8 +143,12 @@ class PackedTraceArena:
                         )
                 warp_bounds.append(len(op_kind))
         if count_as_pack:
-            _STATS["packs"] += 1
-            _STATS["pack_seconds"] += time.perf_counter() - started
+            _PACKS.inc()
+            _PACK_SECONDS.inc(time.perf_counter() - started)
+            record_span(
+                "trace_pack", started_ns, time.time_ns(), cat="run",
+                args={"workload": workload, "ops": len(op_kind)},
+            )
         return cls(
             workload=workload, num_sms=num_sms, warps_per_sm=warps_per_sm,
             op_kind=op_kind, op_pc=op_pc, op_count=op_count,
@@ -234,14 +241,24 @@ ARENA_CACHE_LIMIT = 32
 #: in-process arena cache (trace-identity key -> packed arena)
 _CACHE: Dict[str, PackedTraceArena] = {}
 
-_STATS = {
-    "hits": 0,          # cache_arena served an existing arena
-    "misses": 0,        # cache_arena had to build one
-    "packs": 0,         # traces generated + packed (from_streams calls)
-    "spill_loads": 0,   # arenas rebuilt from an on-disk spill file
-    "pack_seconds": 0.0,
-    "spill_load_seconds": 0.0,
-}
+# arena accounting now lives in the process-wide metrics registry (so
+# `GET /metrics` exposes it); `arena_cache_stats()` keeps serving the
+# historical dict shape on top of these families.
+_HITS = REGISTRY.counter(
+    "repro_arena_hits", "Arena cache lookups served from memory")
+_MISSES = REGISTRY.counter(
+    "repro_arena_misses", "Arena cache lookups that had to build")
+_PACKS = REGISTRY.counter(
+    "repro_arena_packs", "Traces generated and packed (from_streams)")
+_SPILL_LOADS = REGISTRY.counter(
+    "repro_arena_spill_loads", "Arenas rebuilt from on-disk spill files")
+_PACK_SECONDS = REGISTRY.counter(
+    "repro_arena_pack_seconds", "Wall-time spent generating + packing")
+_SPILL_LOAD_SECONDS = REGISTRY.counter(
+    "repro_arena_spill_load_seconds", "Wall-time spent loading spills")
+REGISTRY.gauge(
+    "repro_arena_cached", "Packed arenas resident in the cache"
+).set_function(lambda: len(_CACHE))
 
 
 def cached_arena(
@@ -256,10 +273,10 @@ def cached_arena(
     """
     arena = _CACHE.get(key)
     if arena is not None:
-        _STATS["hits"] += 1
+        _HITS.inc()
         _CACHE[key] = _CACHE.pop(key)  # refresh LRU position
         return arena
-    _STATS["misses"] += 1
+    _MISSES.inc()
     arena = build()
     _CACHE[key] = arena
     while len(_CACHE) > ARENA_CACHE_LIMIT:
@@ -269,19 +286,30 @@ def cached_arena(
 
 def note_spill_load(seconds: float) -> None:
     """Record one arena rebuilt from an on-disk spill file."""
-    _STATS["spill_loads"] += 1
-    _STATS["spill_load_seconds"] += seconds
+    _SPILL_LOADS.inc()
+    _SPILL_LOAD_SECONDS.inc(seconds)
 
 
 def arena_cache_stats() -> Dict[str, float]:
-    """A snapshot of the arena cache counters (see module docstring)."""
-    return dict(_STATS, cached=len(_CACHE))
+    """A snapshot of the arena cache counters (see module docstring).
+
+    The historical dict shape, served from the metrics registry (the
+    same numbers ``GET /metrics`` exposes as ``repro_arena_*``).
+    """
+    return {
+        "hits": int(_HITS.value),
+        "misses": int(_MISSES.value),
+        "packs": int(_PACKS.value),
+        "spill_loads": int(_SPILL_LOADS.value),
+        "pack_seconds": _PACK_SECONDS.value,
+        "spill_load_seconds": _SPILL_LOAD_SECONDS.value,
+        "cached": len(_CACHE),
+    }
 
 
 def reset_arena_cache() -> None:
     """Drop every cached arena and zero the counters (tests)."""
     _CACHE.clear()
-    _STATS.update(
-        hits=0, misses=0, packs=0, spill_loads=0,
-        pack_seconds=0.0, spill_load_seconds=0.0,
-    )
+    for family in (_HITS, _MISSES, _PACKS, _SPILL_LOADS,
+                   _PACK_SECONDS, _SPILL_LOAD_SECONDS):
+        family.reset()
