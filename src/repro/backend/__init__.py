@@ -1,0 +1,59 @@
+"""Execution-backend selection.
+
+Two backends execute a :class:`~repro.engine.spec.RunSpec`:
+
+* ``interp`` -- the per-op interpreter loop in
+  :class:`~repro.gpu.simulator.GPUSimulator`; always available, always
+  authoritative.
+* ``fast`` -- the epoch engine in :mod:`repro.backend.fast`, which
+  retires all-hit / compute spans of the packed trace arena in bulk and
+  falls back to the interpreter at every event that could change cache
+  state.  Results are **bit-identical** to ``interp`` (pinned by the
+  22-payload golden-parity suite); only wall-clock differs.
+
+Selection is explicit end to end: ``RunSpec.backend`` (CLI ``--backend``,
+service ``backend`` field) wins, then the ``REPRO_BACKEND`` environment
+variable, then the default ``interp``.  Because results are identical,
+the backend is *excluded* from :class:`~repro.engine.spec.RunKey` --
+stored results satisfy requests from either backend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "BACKENDS", "DEFAULT_BACKEND", "resolve_backend", "simulator_class",
+]
+
+#: recognised backend names
+BACKENDS = ("interp", "fast")
+DEFAULT_BACKEND = "interp"
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve an explicit backend name (or None/"" for "inherit") to a
+    validated backend, consulting ``REPRO_BACKEND`` then the default.
+
+    Raises:
+        ValueError: unknown backend name (explicit or from the
+            environment).
+    """
+    chosen = name or os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    if chosen not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {chosen!r}; known: {', '.join(BACKENDS)}"
+        )
+    return chosen
+
+
+def simulator_class(backend: str):
+    """The simulator class implementing a resolved *backend* name."""
+    if backend == "fast":
+        from repro.backend.fast import FastGPUSimulator
+
+        return FastGPUSimulator
+    from repro.gpu.simulator import GPUSimulator
+
+    return GPUSimulator

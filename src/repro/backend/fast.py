@@ -1,0 +1,663 @@
+"""The ``fast`` backend: epoch execution over the packed trace arena.
+
+:class:`FastGPUSimulator` subclasses the interpreter and replaces the
+single ``try_issue`` call of the issue loop with an **epoch**: starting
+from the current cycle it replays the scheduler's attempt sequence
+locally -- probing whole coalesced transaction spans against the L1D's
+authoritative residency index (``bulk_hit_retire``) and retiring
+compute blocks and all-hit memory spans with closed-form accounting --
+until it reaches an attempt that could observe or change asynchronous
+state.  At that point it stops *before* consuming the op and hands the
+attempt to the interpreter (``SM.try_issue``), preserving the exact
+memory-subsystem call ordering for misses, bypasses and hazards.
+
+An epoch may not run past the SM's next **hard event**: a fill, retry
+or generic callback can mutate cache state mid-epoch, so the epoch
+horizon is the earliest such event *targeting that SM* (fills and
+retries are SM-local; wake events commute with epochs -- they only
+re-add an SM to the active set -- and do not bound the horizon, and
+generic callbacks, with no current callers, conservatively bound every
+SM).  The horizons come from per-SM min-heaps fed by the overridden
+``schedule_fill``/``schedule_retry``/``schedule`` hooks, so computing
+one costs a lazy heap peek per SM visit instead of scanning the event
+wheel -- and one SM's off-chip traffic never truncates another SM's
+all-hit epoch.
+
+Bit-identity with the interpreter (pinned cross-backend by the
+22-payload suite in ``tests/test_golden_parity.py``) rests on three
+rules:
+
+* the epoch's attempt sequence *is* the interpreter's: after an attempt
+  at ``t`` the next attempt that can succeed is
+  ``max(best, port_busy_until, t + 1)`` (``best`` = minimum ``ready_at``
+  over unblocked, undone warps) -- the same recurrence the outer loop
+  realises through ``next_event_time`` and the wake heap, with the
+  interpreter's intervening attempts all being mutation-free failures;
+* when the epoch ends because no remaining warp can issue without an
+  event (``best is None``) *and* it made progress, a wake-heap entry is
+  pushed at the final attempt cycle, so the outer clock still visits
+  the cycle where the interpreter would have consulted the drained
+  cursor -- final-cycle parity on warp drain;
+* a span the bulk probe cannot prove all-hit ends the epoch *without
+  consuming the op*; at the current cycle the attempt is re-run through
+  ``SM.try_issue`` (scheduler ``pick`` is idempotent at a fixed cycle),
+  at a future cycle the SM is simply revisited there, so every miss,
+  bypass and reservation-fail presents transactions one at a time in
+  the original order.
+
+Timeline sampling (``RunSpec.timeline``) observes mid-run state at
+fixed cycle intervals, which epochs would leap over; a sampler forces
+the whole run onto the inherited interpreter loop (counted as a
+``timeline`` fallback).
+
+Two adaptive layers keep the engine cheap on miss-bound streams, where
+epochs cannot batch anything and would otherwise add pure overhead.
+Both are performance policy only -- the horizon rules above guarantee
+either path leaves identical state:
+
+* **probe memo** -- residency only grows at fill events, so a span
+  that just failed the bulk probe will fail again until the next event
+  fires; the failing (warp, op) is memoised per SM and its revisit
+  routes straight to the interpreter consume, skipping a guaranteed-
+  useless re-probe.  The memo is invalidated after every event batch.
+* **cold routing** -- an SM whose epochs repeatedly end without
+  batching (no compute run, no multi-transaction bulk retire) is
+  handed to ``SM.try_issue`` directly for exponentially growing
+  stretches (32 doubling to 8192 visits); any batching win resets the
+  backoff.  Hit/compute-dense phases re-engage epochs quickly, and
+  uniformly miss-bound runs degrade to interpreter speed instead of
+  paying epoch setup per visit.
+
+Telemetry: ``repro_backend_epochs``/``_fast_ops``/``_interp_ops``
+counters, ``repro_backend_fallbacks{reason=probe|horizon|drain|
+timeline}``, and a per-run ``backend_epoch`` span carrying the same
+split (surfaced by ``repro profile --backend fast``).
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heappop, heappush
+from typing import List, Optional
+
+from repro.backend.membership import compute_run
+from repro.gpu.scheduler import GTOScheduler
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.sm import SM
+from repro.gpu.stats import SimulationResult, merge_cache_stats
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.spans import record_span, spans_enabled
+from repro.workloads.trace import COMPUTE, LOAD
+
+__all__ = [
+    "FastGPUSimulator",
+]
+
+#: epochs entered (one per SM visit in the issue loop)
+EPOCHS = REGISTRY.counter(
+    "repro_backend_epochs",
+    "Epochs executed by the fast backend (one per SM issue-loop visit)",
+)
+#: ops retired in bulk (closed form) rather than by the interpreter
+FAST_OPS = REGISTRY.counter(
+    "repro_backend_fast_ops",
+    "Ops retired in bulk by the fast backend's epoch engine",
+)
+#: ops consumed through the interpreter while the fast backend ran
+#: (probe fallbacks and cold-routed visits); together with FAST_OPS
+#: this splits a run's issue work between the two paths
+INTERP_OPS = REGISTRY.counter(
+    "repro_backend_interp_ops",
+    "Ops consumed via the interpreter under the fast backend "
+    "(probe fallbacks and cold-routed visits)",
+)
+#: epoch endings by reason: ``probe`` (span not provably all-hit),
+#: ``horizon`` (hard event due), ``drain`` (no warp can issue without
+#: an event), ``timeline`` (sampler forced the interpreter loop)
+FALLBACKS = REGISTRY.counter(
+    "repro_backend_fallbacks",
+    "Fast-backend interpreter fallbacks by reason",
+    labelnames=("reason",),
+)
+
+_FALLBACK_REASONS = ("probe", "horizon", "drain", "timeline")
+
+#: consecutive no-batch epochs before an SM's visits go cold
+_STREAK_LIMIT = 8
+#: first cold period (visits routed straight to the interpreter) and
+#: the cap the period doubles toward while the SM stays miss-bound
+_COLD_MIN = 32
+_COLD_MAX = 8192
+
+
+class FastGPUSimulator(GPUSimulator):
+    """Epoch-executing simulator, bit-identical to :class:`GPUSimulator`.
+
+    Constructed with the same arguments; selected via
+    ``RunSpec.backend`` / ``--backend fast`` / ``REPRO_BACKEND=fast``
+    (see :mod:`repro.backend`).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: per-SM cycles of pending *hard* events (fill/retry/call) -- a
+        #: lazy mirror of the event wheel for O(1) horizon peeks;
+        #: entries at or before the clock have fired and are popped on
+        #: read
+        self._hard_cycles: List[List[int]] = [[] for _ in self.sms]
+        #: GTO's greedy rule pins the picked warp while it stays ready,
+        #: which is what lets consecutive COMPUTE ops retire as one
+        #: closed-form run (no other warp can preempt the streak)
+        self._sticky = all(
+            isinstance(sm.scheduler, GTOScheduler) for sm in self.sms
+        )
+        #: an epoch may attempt at t == max_cycles but never beyond;
+        #: the run loop's overrun check stays authoritative
+        self._hard_cap = self.max_cycles + 1
+        #: the run loop's wake heap (epochs push drain wakes into it)
+        self._wake_heap: List = []
+        #: per-SM cycle of the last *flip-consumed* attempt.  A warp
+        #: retiring (done flip) consumes a scheduler attempt without
+        #: advancing ``port_busy_until``, so -- unlike every other
+        #: consumed attempt -- nothing in SM state stops a later epoch,
+        #: restarted from the (lagging) outer clock, from re-running
+        #: that attempt and issuing a different warp one cycle early.
+        #: Epochs therefore never attempt at or before this frontier.
+        self._flip_frontier: List[int] = [-1] * len(self.sms)
+        #: per-SM ``(warp, op_index)`` of the last span the bulk probe
+        #: could not prove all-hit.  The outer loop revisits that very
+        #: attempt (nothing was consumed), and residency only grows at
+        #: fill events, so the re-probe is a guaranteed miss: the memo
+        #: routes the revisit straight to the interpreter consume.  The
+        #: memo is a pure performance hint -- both paths are
+        #: bit-identical -- and is dropped whenever events fire.
+        self._probe_memo: List[Optional[tuple]] = [None] * len(self.sms)
+        self._memo_live = False
+        #: adaptive routing: an SM whose epochs keep ending in
+        #: single-op interpreter hand-offs (miss/hazard-bound phases,
+        #: where the engine can only add probe overhead) goes **cold**
+        #: -- its next ``_cold[sm]`` visits route straight to
+        #: ``SM.try_issue``.  Cold periods double up to a cap and reset
+        #: on the first epoch that batches again, so hit- or
+        #: compute-heavy phases re-engage within one probe epoch.
+        #: Routing is a pure performance policy: both paths leave
+        #: identical state, so bit-identity is unaffected.
+        self._cold: List[int] = [0] * len(self.sms)
+        self._cold_len: List[int] = [_COLD_MIN] * len(self.sms)
+        self._streak: List[int] = [0] * len(self.sms)
+        # epoch statistics, accumulated as plain fields and flushed to
+        # the registry once per run (counter locks stay off the hot path)
+        self._stat_epochs = 0
+        self._stat_fast_ops = 0
+        self._stat_interp_ops = 0
+        self._stat_fb_probe = 0
+        self._stat_fb_horizon = 0
+        self._stat_fb_drain = 0
+        self._stat_fb_timeline = 0
+
+    # -- horizon bookkeeping -------------------------------------------
+    def schedule(self, cycle: int, callback, *args) -> None:
+        # generic callbacks carry no SM target: bound every horizon
+        at = max(cycle, self.cycle)
+        for heap in self._hard_cycles:
+            heappush(heap, at)
+        super().schedule(cycle, callback, *args)
+
+    def schedule_fill(self, cycle: int, sm: SM, block_addr: int) -> None:
+        # fills complete strictly after the presenting cycle: no clamp
+        heappush(self._hard_cycles[sm.sm_id], cycle)
+        super().schedule_fill(cycle, sm, block_addr)
+
+    def schedule_retry(
+        self, cycle: int, sm: SM, request, waiting_warp, attempts: int
+    ) -> None:
+        # retries land RETRY_INTERVAL ahead of the presenting cycle
+        heappush(self._hard_cycles[sm.sm_id], cycle)
+        super().schedule_retry(cycle, sm, request, waiting_warp, attempts)
+
+    def _next_hard_cycle(self, sm_id: int, cycle: int) -> Optional[int]:
+        """Earliest hard event for *sm_id* strictly after *cycle*."""
+        heap = self._hard_cycles[sm_id]
+        while heap and heap[0] <= cycle:
+            heappop(heap)
+        return heap[0] if heap else None
+
+    # -- the epoch engine ----------------------------------------------
+    def _epoch_issue(self, sm: SM, cycle: int) -> bool:
+        """Run one epoch on *sm*: replay its attempt sequence from
+        *cycle* up to (exclusive) the SM's next hard event, retiring
+        compute blocks and all-hit spans in bulk; the first attempt the
+        bulk path cannot prove safe ends the epoch (via ``SM.try_issue``
+        when it is due now, unconsumed when it lies in the future).
+
+        Returns True when the epoch issued at least one op, leaving
+        warp, port and event state exactly where the interpreter's
+        attempt sequence would have left it.  Visits that cannot consume
+        anything (port busy, nothing ready, horizon due) reject in a few
+        compares -- as cheap as a failed ``try_issue`` -- so the outer
+        loop's deactivate-and-wake bookkeeping stays authoritative for
+        idle SMs.
+        """
+        sm_id = sm.sm_id
+        t = cycle
+        frontier = self._flip_frontier[sm_id]
+        if frontier >= t:
+            t = frontier + 1
+        port = sm.port_busy_until
+        if t < port:
+            return False
+        nxt_hard = self._next_hard_cycle(sm_id, cycle)
+        hard_cap = self._hard_cap
+        horizon = hard_cap if (
+            nxt_hard is None or nxt_hard > hard_cap
+        ) else nxt_hard
+        if t >= horizon:
+            return False
+        warps = sm.warps
+        scheduler = sm.scheduler
+        warp = scheduler.pick(warps, t)
+        if warp is None:
+            return False
+        memo = self._probe_memo[sm_id]
+        if memo is not None and memo[0] is warp and memo[1] == warp.op_index:
+            # this very attempt probe-failed and no event has fired
+            # since: skip the re-probe and consume it the interpreter's
+            # way (the scheduler already picked, so inline the
+            # post-pick body of ``SM.try_issue``)
+            if t > cycle:
+                return False
+            self._probe_memo[sm_id] = None
+            self._streak[sm_id] += 1
+            self._stat_interp_ops += 1
+            index = warp.op_index
+            warp.op_index = index + 1
+            warp.last_issue = t
+            sm._issue_memory(warp, warp.op_kind[index], index, t)
+            return True
+
+        # the first attempt consumes: enter the engine proper
+        self._stat_epochs += 1
+        issued = False
+        flipped = False
+        sticky = self._sticky
+        l1d = sm.l1d
+        # SM counters mirrored into locals for the attempt loop; every
+        # epoch exit (and the try_issue hand-off) writes them back
+        busy = sm.issue_busy_cycles
+        instr = sm.instructions
+        loads = sm.load_transactions
+        stores = sm.store_transactions
+        fast_ops = 0
+        bulk_multi = False
+        # ``cur`` is the last-picked warp; ``others_best`` caches the
+        # minimum ready_at over issuable warps *excluding* cur, so the
+        # sticky common case (cur re-picked every attempt) advances in
+        # O(1) -- only cur's ready_at changes within an epoch, blocked
+        # and done sets are frozen between hard events except for our
+        # own flips (cur-only, handled by the done check below)
+        cur = None
+        others_best: Optional[int] = None
+        dirty = True
+        while True:
+            # consume the attempt at t with the picked warp
+            if warp is not cur:
+                cur = warp
+                dirty = True
+            index = warp.op_index
+            if index >= warp.op_end:
+                # exhausted cursor consulted: the warp retires,
+                # consuming this attempt without issuing (and without
+                # occupying the port -- pin the frontier so no later
+                # epoch re-attempts this cycle)
+                warp.done = True
+                flipped = True
+                self._flip_frontier[sm_id] = t
+            else:
+                kind = warp.op_kind[index]
+                if kind == COMPUTE:
+                    if (
+                        sticky
+                        and index + 1 < warp.op_end
+                        and warp.op_kind[index + 1] == COMPUTE
+                    ):
+                        run, total = compute_run(
+                            warp.op_kind, warp.op_count,
+                            index, warp.op_end, COMPUTE,
+                        )
+                        if t + total <= horizon:
+                            # greedy keeps picking this warp at each
+                            # block's end, so the whole run issues
+                            # back to back: one attempt per op,
+                            # closed form
+                            warp.op_index = index + run
+                            warp.last_issue = (
+                                t + total
+                                - warp.op_count[index + run - 1]
+                            )
+                            port = t + total
+                            busy += total
+                            warp.ready_at = port
+                            warp.instructions_issued += total
+                            instr += total
+                            fast_ops += run
+                            issued = True
+                        else:
+                            span = warp.op_count[index]
+                            warp.op_index = index + 1
+                            warp.last_issue = t
+                            port = t + span
+                            busy += span
+                            warp.ready_at = port
+                            warp.instructions_issued += span
+                            instr += span
+                            fast_ops += 1
+                            issued = True
+                    else:
+                        span = warp.op_count[index]
+                        warp.op_index = index + 1
+                        warp.last_issue = t
+                        port = t + span
+                        busy += span
+                        warp.ready_at = port
+                        warp.instructions_issued += span
+                        instr += span
+                        fast_ops += 1
+                        issued = True
+                else:
+                    start = warp.txn_off[index]
+                    end = warp.txn_off[index + 1]
+                    if start == end:
+                        warp.op_index = index + 1
+                        warp.last_issue = t
+                        port = t + 1
+                        busy += 1
+                        warp.instructions_issued += 1
+                        warp.memory_instructions += 1
+                        instr += 1
+                        warp.ready_at = t + 1
+                        fast_ops += 1
+                        issued = True
+                    else:
+                        is_load = kind == LOAD
+                        last_ready = l1d.bulk_hit_retire(
+                            warp.txns, start, end, t,
+                            warp.op_pc[index], warp.warp_id,
+                            not is_load,
+                        )
+                        if last_ready is None:
+                            # not provably all-hit: hand the attempt
+                            # over without consuming
+                            self._stat_fb_probe += 1
+                            self._stat_fast_ops += fast_ops
+                            sm.port_busy_until = port
+                            sm.issue_busy_cycles = busy
+                            sm.instructions = instr
+                            sm.load_transactions = loads
+                            sm.store_transactions = stores
+                            if fast_ops >= 2 or bulk_multi:
+                                self._streak[sm_id] = 0
+                                self._cold_len[sm_id] = _COLD_MIN
+                            else:
+                                streak = self._streak[sm_id] + 1
+                                self._streak[sm_id] = streak
+                                if streak >= _STREAK_LIMIT:
+                                    length = self._cold_len[sm_id]
+                                    self._cold[sm_id] = length
+                                    if length < _COLD_MAX:
+                                        self._cold_len[sm_id] = length * 2
+                            if t == cycle:
+                                # consume it the interpreter's way
+                                # (pick already chose this warp; inline
+                                # the post-pick body of ``try_issue``)
+                                self._stat_interp_ops += 1
+                                warp.op_index = index + 1
+                                warp.last_issue = t
+                                sm._issue_memory(warp, kind, index, t)
+                                return True
+                            # future attempt: the outer loop revisits
+                            # at t via the next_event_time wake; the
+                            # memo spares that visit the re-probe
+                            self._probe_memo[sm_id] = (warp, index)
+                            self._memo_live = True
+                            return issued
+                        count = end - start
+                        if count > 1:
+                            bulk_multi = True
+                        warp.op_index = index + 1
+                        warp.last_issue = t
+                        port = t + 1
+                        busy += 1
+                        warp.instructions_issued += 1
+                        warp.memory_instructions += 1
+                        instr += 1
+                        if is_load:
+                            loads += count
+                            # block_on(count) followed by count eager
+                            # hit-retirements, fused: the warp ends
+                            # unblocked, ready when the last (latest)
+                            # transaction's data lands, with the same
+                            # wake event the interpreter schedules
+                            if last_ready > warp.ready_at:
+                                warp.ready_at = last_ready
+                            self.schedule_wake(warp.ready_at, sm_id)
+                        else:
+                            stores += count
+                            warp.ready_at = t + 1
+                        fast_ops += 1
+                        issued = True
+            # next attempt that can succeed: max(best, port, t + 1)
+            if dirty:
+                ob: Optional[int] = None
+                for other in warps:
+                    if other is cur or other.done or other.outstanding:
+                        continue
+                    ready_at = other.ready_at
+                    if ob is None or ready_at < ob:
+                        ob = ready_at
+                others_best = ob
+                dirty = False
+            best = others_best
+            if not cur.done:
+                ready_at = cur.ready_at
+                if best is None or ready_at < best:
+                    best = ready_at
+            if best is None:
+                # every remaining warp is done or blocked: the epoch
+                # drains.  If it consumed anything at a cycle the outer
+                # clock has not reached yet, the clock must still visit
+                # that final attempt cycle (where the interpreter
+                # consulted the drained cursor): push a wake-heap entry
+                # there.  At ``t == cycle`` the clock is already there
+                # (pushing would force a spurious extra cycle), and a
+                # no-progress drain pushes nothing -- the state did not
+                # change, and pushing would re-wake this SM forever.
+                self._stat_fb_drain += 1
+                if t > cycle:
+                    heappush(self._wake_heap, (t, sm_id))
+                break
+            t_next = best
+            if port > t_next:
+                t_next = port
+            if t + 1 > t_next:
+                t_next = t + 1
+            if t_next >= horizon:
+                self._stat_fb_horizon += 1
+                break
+            t = t_next
+            warp = scheduler.pick(warps, t)
+            if warp is None:  # pragma: no cover - defensive: the
+                break  # recurrence always lands on a ready warp
+        self._stat_fast_ops += fast_ops
+        sm.port_busy_until = port
+        sm.issue_busy_cycles = busy
+        sm.instructions = instr
+        sm.load_transactions = loads
+        sm.store_transactions = stores
+        if fast_ops >= 2 or bulk_multi:
+            self._streak[sm_id] = 0
+            self._cold_len[sm_id] = _COLD_MIN
+        else:
+            streak = self._streak[sm_id] + 1
+            self._streak[sm_id] = streak
+            if streak >= _STREAK_LIMIT:
+                length = self._cold_len[sm_id]
+                self._cold[sm_id] = length
+                if length < _COLD_MAX:
+                    self._cold_len[sm_id] = length * 2
+        return issued
+
+    # -- the outer loop -------------------------------------------------
+    def run(
+        self, workload_name: str = "", config_name: str = ""
+    ) -> SimulationResult:
+        """Interpreter-identical results via epoch execution.
+
+        With a timeline sampler attached the inherited per-op loop runs
+        instead (epochs would leap over the sampling points).
+        """
+        if self.sampler is not None:
+            self._stat_fb_timeline += 1
+            try:
+                return super().run(workload_name, config_name)
+            finally:
+                self._flush_stats()
+
+        want_spans = spans_enabled()
+        start_ns = time.time_ns() if want_spans else 0
+        sms = self.sms
+        events = self._events
+        active = self._active
+        active.update(range(len(sms)))
+        wake_heap = self._wake_heap
+        wakeups = self._wakeups
+        max_cycles = self.max_cycles
+        cold = self._cold
+        interp_ops = 0
+
+        probe_memo = self._probe_memo
+        while True:
+            if events and events[0][0] <= self.cycle:
+                self._run_due_events()
+                # fills may have grown residency: let spans probe again
+                if self._memo_live:
+                    self._memo_live = False
+                    for sm_id in range(len(probe_memo)):
+                        probe_memo[sm_id] = None
+
+            cycle = self.cycle
+            while wake_heap and wake_heap[0][0] <= cycle:
+                active.add(heappop(wake_heap)[1])
+
+            issued_any = False
+            if active:
+                for sm_id in sorted(active):
+                    sm = sms[sm_id]
+                    # cold SMs (miss/hazard-bound: epochs were not
+                    # batching) route straight to the interpreter
+                    c = cold[sm_id]
+                    if c:
+                        cold[sm_id] = c - 1
+                        ok = sm.try_issue(cycle)
+                        if ok:
+                            interp_ops += 1
+                    else:
+                        ok = self._epoch_issue(sm, cycle)
+                    if ok:
+                        issued_any = True
+                    else:
+                        active.discard(sm_id)
+                        when = sm.next_event_time(cycle)
+                        if when is not None:
+                            heappush(wake_heap, (when, sm_id))
+
+            if issued_any or wakeups:
+                wakeups.clear()
+                self.cycle = cycle + 1
+            else:
+                nxt: Optional[int] = events[0][0] if events else None
+                if wake_heap and (nxt is None or wake_heap[0][0] < nxt):
+                    nxt = wake_heap[0][0]
+                if nxt is None:
+                    if all(sm.done for sm in sms):
+                        break
+                    stuck = [sm.sm_id for sm in sms if not sm.done]
+                    raise RuntimeError(
+                        f"deadlock at cycle {cycle}: SMs {stuck} have "
+                        "blocked warps but no pending events"
+                    )
+                self.cycle = nxt if nxt > cycle else cycle + 1
+
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"exceeded max_cycles={self.max_cycles}; aborting"
+                )
+
+        # drain any same-cycle stragglers and finish bookkeeping
+        self._stat_interp_ops += interp_ops
+        self._run_due_events()
+        for sm in sms:
+            sm.l1d.flush_metadata()
+
+        if want_spans:
+            record_span(
+                "backend_epoch",
+                start_ns,
+                time.time_ns(),
+                cat="run",
+                args={
+                    "epochs": self._stat_epochs,
+                    "fast_ops": self._stat_fast_ops,
+                    "interp_ops": self._stat_interp_ops,
+                    "fallbacks": {
+                        reason: count
+                        for reason, count in self._fallback_counts()
+                        if count
+                    },
+                },
+            )
+        self._flush_stats()
+
+        return SimulationResult(
+            config_name=config_name,
+            workload_name=workload_name,
+            cycles=self.cycle,
+            instructions=sum(sm.instructions for sm in sms),
+            l1d=merge_cache_stats(sm.l1d.stats for sm in sms),
+            memory=self.memory.finalize_stats(),
+            issue_busy_cycles=sum(sm.issue_busy_cycles for sm in sms),
+            num_sms=len(sms),
+            load_transactions=sum(sm.load_transactions for sm in sms),
+            store_transactions=sum(sm.store_transactions for sm in sms),
+            retries=sum(sm.retries for sm in sms),
+            timeline=None,
+        )
+
+    def _fallback_counts(self):
+        return zip(
+            _FALLBACK_REASONS,
+            (
+                self._stat_fb_probe,
+                self._stat_fb_horizon,
+                self._stat_fb_drain,
+                self._stat_fb_timeline,
+            ),
+        )
+
+    def _flush_stats(self) -> None:
+        """Publish the run's accumulated epoch statistics."""
+        if self._stat_epochs:
+            EPOCHS.inc(self._stat_epochs)
+        if self._stat_fast_ops:
+            FAST_OPS.inc(self._stat_fast_ops)
+        if self._stat_interp_ops:
+            INTERP_OPS.inc(self._stat_interp_ops)
+        for reason, count in self._fallback_counts():
+            if count:
+                FALLBACKS.labels(reason).inc(count)
+        self._stat_epochs = 0
+        self._stat_fast_ops = 0
+        self._stat_interp_ops = 0
+        self._stat_fb_probe = 0
+        self._stat_fb_horizon = 0
+        self._stat_fb_drain = 0
+        self._stat_fb_timeline = 0

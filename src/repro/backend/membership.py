@@ -1,0 +1,81 @@
+"""Span kernels for the fast backend: column scans and set membership.
+
+The epoch engine (:mod:`repro.backend.fast`) asks two bulk questions per
+scheduler attempt:
+
+* **column scan** -- how far ahead does the current warp's ``op_kind``
+  column stay COMPUTE, and what is the total issue span of that run?
+  The arena columns are stdlib ``array`` buffers, so numpy (when
+  importable) answers both from zero-copy views (``frombuffer`` +
+  ``argmin``/``sum``); otherwise tight ``array``-slice loops do -- runs
+  are short, and the scalar kernels are the portability floor the
+  container guarantees.
+* **set membership** -- is every block of a transaction span resident?
+  Residency lives in the tag arrays' ``_index`` dicts (the CBF /
+  approximate-associativity structures only *price* searches; the index
+  is the authoritative membership set), and an exact dict probe with an
+  early-out on the first absent block beats a vectorised probe at LSU
+  span lengths (<= 32 coalesced transactions): building an ndarray from
+  a python dict would serialise through the same hash lookups first.
+  The cache models therefore probe their indices directly (see
+  ``bulk_hit_retire``); :func:`span_resident` packages the same kernel
+  for tooling and tests.
+
+Both kernels are pure queries: they never mutate simulator state, so
+using (or skipping) them cannot perturb bit-identity.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HAVE_NUMPY", "compute_run", "span_resident",
+]
+
+try:  # numpy is optional: the stdlib kernels are the floor
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy-free environments
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: below this run/span length the scalar loop wins even with numpy
+_NUMPY_MIN = 8
+
+
+def compute_run(op_kind, op_count, start: int, end: int, compute_kind: int):
+    """Length and total issue span of the leading COMPUTE run.
+
+    Scans ``op_kind[start:end]`` for the first op that is not
+    *compute_kind* and sums ``op_count`` over the run.  Returns
+    ``(run_length, total_span)``; ``(0, 0)`` when the first op is not
+    compute.
+    """
+    if end - start >= _NUMPY_MIN and _np is not None:
+        kinds = _np.frombuffer(
+            memoryview(op_kind)[start:end], dtype=_np.int8
+        )
+        breaks = _np.nonzero(kinds != compute_kind)[0]
+        run = int(breaks[0]) if breaks.size else end - start
+        if run == 0:
+            return 0, 0
+        counts = _np.frombuffer(
+            memoryview(op_count)[start:start + run], dtype=_np.int64
+        )
+        return run, int(counts.sum())
+    run = 0
+    total = 0
+    for k in range(start, end):
+        if op_kind[k] != compute_kind:
+            break
+        run += 1
+        total += op_count[k]
+    return run, total
+
+
+def span_resident(index, txns, start: int, end: int) -> bool:
+    """Exact set-membership probe: is every block of ``txns[start:end]``
+    a key of *index*?  Early-outs on the first absent block."""
+    for k in range(start, end):
+        if txns[k] not in index:
+            return False
+    return True

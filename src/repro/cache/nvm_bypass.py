@@ -58,11 +58,17 @@ class DeadWritePredictor:
 
     def observe(self, request: MemoryRequest) -> None:
         """Train on one request (no-op for non-sampled warps)."""
-        observation = self.sampler.observe(
-            request.warp_id,
-            request.block_addr,
-            request.pc,
+        self.observe_raw(
+            request.warp_id, request.block_addr, request.pc,
             request.is_write,
+        )
+
+    def observe_raw(
+        self, warp_id: int, block_addr: int, pc: int, is_write: bool
+    ) -> None:
+        """Request-free form of :meth:`observe` (fast-backend bulk path)."""
+        observation = self.sampler.observe(
+            warp_id, block_addr, pc, is_write
         )
         if observation is None:
             return
@@ -114,6 +120,14 @@ class ByNVMCache(BaseCache):
 
     def _observe(self, request: MemoryRequest) -> None:
         self.predictor.observe(request)
+
+    def _observe_bulk(
+        self, txns, start: int, end: int, pc: int, warp_id: int,
+        is_write: bool,
+    ) -> None:
+        observe = self.predictor.observe_raw
+        for k in range(start, end):
+            observe(warp_id, txns[k], pc, is_write)
 
     def _access_impl(self, request: MemoryRequest, cycle: int) -> AccessResult:
         block = request.block_addr

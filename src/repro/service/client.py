@@ -103,6 +103,7 @@ class ServiceClient:
         seed: int = 0,
         num_sms: Optional[int] = None,
         timeline: int = 0,
+        backend: str = "",
     ) -> Dict:
         """POST a sweep; returns the acceptance payload (``job``,
         ``created``, ``total``, ``location``).
@@ -111,7 +112,9 @@ class ServiceClient:
         tokens follow the sweep grammar (names, suites, ``trace:``,
         ``all``).  A non-zero *timeline* asks the service to sample the
         in-simulation timeline every that many cycles (fetch the series
-        with :meth:`timeline` once the job settles).
+        with :meth:`timeline` once the job settles).  *backend* picks
+        the server-side execution backend (``interp``/``fast``; results
+        are bit-identical, so it does not change run identity).
         """
         payload: Dict = {
             "configs": configs, "workloads": workloads,
@@ -121,6 +124,8 @@ class ServiceClient:
             payload["num_sms"] = num_sms
         if timeline:
             payload["timeline"] = timeline
+        if backend:
+            payload["backend"] = backend
         return self._request("POST", "/v1/sweeps", payload)
 
     def job(self, job_id: str) -> Dict:
@@ -204,6 +209,7 @@ class ServiceClient:
         seed: int = 0,
         num_sms: Optional[int] = None,
         timeline: int = 0,
+        backend: str = "",
         timeout: float = 600.0,
         on_event: Optional[Callable[[str, Dict], None]] = None,
     ) -> Dict:
@@ -216,7 +222,7 @@ class ServiceClient:
         """
         accepted = self.submit(
             configs, workloads, gpu_profile=gpu_profile, scale=scale,
-            seed=seed, num_sms=num_sms, timeline=timeline,
+            seed=seed, num_sms=num_sms, timeline=timeline, backend=backend,
         )
         job_id = accepted["job"]
         deadline = time.monotonic() + timeout

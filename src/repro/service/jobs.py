@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.backend import BACKENDS
 from repro.core.factory import l1d_config
 from repro.engine.spec import GPU_PROFILES, SCALE_PRESETS, RunSpec
 from repro.workloads.benchmarks import TRACE_PREFIX
@@ -114,12 +115,17 @@ class SweepRequest:
     #: cycles between timeline samples (0 = sampling off); part of run
     #: identity when set, so sampled and unsampled runs key separately
     timeline: int = 0
+    #: execution backend (``interp``/``fast``; "" defers to the server's
+    #: ``REPRO_BACKEND``).  Backends are bit-identical, so the choice is
+    #: *not* part of run identity: requests differing only in backend
+    #: coalesce, and stored results satisfy both.
+    backend: str = ""
 
     #: payload keys from_payload accepts (anything else is a 400: typos
     #: like "workload" must not silently produce a default sweep)
     FIELDS = (
         "configs", "workloads", "gpu_profile", "scale", "seed", "num_sms",
-        "timeline",
+        "timeline", "backend",
     )
 
     @classmethod
@@ -194,10 +200,16 @@ class SweepRequest:
         timeline = _int_field(
             payload.get("timeline", 0), "timeline", minimum=0
         )
+        backend = payload.get("backend", "") or ""
+        if backend:
+            if not isinstance(backend, str) or backend not in BACKENDS:
+                raise InvalidRequest(
+                    f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+                )
         return cls(
             configs=tuple(configs), workloads=tuple(workloads),
             gpu_profile=gpu_profile, scale=scale, seed=seed, num_sms=num_sms,
-            timeline=timeline,
+            timeline=timeline, backend=backend,
         )
 
     def to_specs(self) -> List[RunSpec]:
@@ -213,7 +225,7 @@ class SweepRequest:
                 RunSpec.build(
                     config, workload, gpu_profile=self.gpu_profile,
                     scale=self.scale, seed=self.seed, num_sms=self.num_sms,
-                    timeline_interval=self.timeline,
+                    timeline_interval=self.timeline, backend=self.backend,
                 )
                 for workload in self.workloads
                 for config in self.configs
@@ -230,6 +242,7 @@ class SweepRequest:
             "seed": self.seed,
             "num_sms": self.num_sms,
             "timeline": self.timeline,
+            "backend": self.backend,
         }
 
 

@@ -1,0 +1,196 @@
+"""Execution-backend selection, fast-engine telemetry and fallbacks.
+
+Bit-identity of the fast backend is pinned by the golden-parity suite
+(``tests/test_golden_parity.py`` runs every payload under both
+backends); this module covers everything *around* that contract:
+
+* name resolution (explicit > ``REPRO_BACKEND`` > default) and the
+  ``interp``/``fast`` to simulator-class mapping;
+* backend exclusion from :class:`~repro.engine.spec.RunKey` -- the
+  whole reason stored results are shareable across backends;
+* the service-layer ``backend`` request field (validated, coalescing,
+  echoed in ``as_dict``);
+* the fast engine's telemetry: ``repro_backend_*`` counters, the
+  ``backend_epoch`` span, and the timeline-sampler fallback that
+  routes sampled runs through the interpreter loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    resolve_backend,
+    simulator_class,
+)
+from repro.backend.fast import (
+    EPOCHS,
+    FALLBACKS,
+    FAST_OPS,
+    INTERP_OPS,
+    FastGPUSimulator,
+)
+from repro.engine.serialize import result_to_dict
+from repro.engine.spec import RunSpec, execute_spec
+from repro.gpu.simulator import GPUSimulator
+from repro.service.jobs import InvalidRequest, SweepRequest
+from repro.telemetry.spans import disable_spans, enable_spans, read_spans
+
+SPEC_KW = dict(gpu_profile="fermi", scale="smoke", seed=0, num_sms=2)
+
+
+# ----------------------------------------------------------------------
+# resolution and class mapping
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_interp(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend() == DEFAULT_BACKEND == "interp"
+        assert resolve_backend(None) == "interp"
+        assert resolve_backend("") == "interp"
+
+    def test_env_var_supplies_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fast")
+        assert resolve_backend() == "fast"
+        # an explicit name always wins over the environment
+        assert resolve_backend("interp") == "interp"
+
+    def test_unknown_names_raise(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("vectorised")
+        monkeypatch.setenv("REPRO_BACKEND", "warp9")
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend()
+
+    def test_simulator_class_mapping(self):
+        assert simulator_class("interp") is GPUSimulator
+        assert simulator_class("fast") is FastGPUSimulator
+        assert issubclass(FastGPUSimulator, GPUSimulator)
+
+    def test_every_backend_name_resolves(self):
+        for name in BACKENDS:
+            assert resolve_backend(name) == name
+            assert simulator_class(name) is not None
+
+
+# ----------------------------------------------------------------------
+# spec identity
+# ----------------------------------------------------------------------
+class TestSpecIdentity:
+    def test_backend_excluded_from_run_key(self):
+        interp = RunSpec.build("L1-SRAM", "ATAX", backend="interp", **SPEC_KW)
+        fast = RunSpec.build("L1-SRAM", "ATAX", backend="fast", **SPEC_KW)
+        unset = RunSpec.build("L1-SRAM", "ATAX", **SPEC_KW)
+        assert interp.key().digest == fast.key().digest == unset.key().digest
+
+    def test_build_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            RunSpec.build("L1-SRAM", "ATAX", backend="turbo", **SPEC_KW)
+
+
+# ----------------------------------------------------------------------
+# service request field
+# ----------------------------------------------------------------------
+class TestServiceField:
+    BODY = {"configs": ["L1-SRAM"], "workloads": ["ATAX"], "scale": "smoke"}
+
+    def test_backend_accepted_and_echoed(self):
+        request = SweepRequest.from_payload({**self.BODY, "backend": "fast"})
+        assert request.backend == "fast"
+        assert request.as_dict()["backend"] == "fast"
+        assert all(spec.backend == "fast" for spec in request.to_specs())
+
+    def test_backend_defaults_empty(self):
+        request = SweepRequest.from_payload(dict(self.BODY))
+        assert request.backend == ""
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidRequest, match="unknown backend"):
+            SweepRequest.from_payload({**self.BODY, "backend": "gpu"})
+
+    def test_backend_not_part_of_request_identity(self):
+        plain = SweepRequest.from_payload(dict(self.BODY))
+        fast = SweepRequest.from_payload({**self.BODY, "backend": "fast"})
+        assert (
+            plain.to_specs()[0].key().digest
+            == fast.to_specs()[0].key().digest
+        )
+
+
+# ----------------------------------------------------------------------
+# fast-engine telemetry
+# ----------------------------------------------------------------------
+def _counter_snapshot():
+    fallbacks = {
+        labels[0]: child.value for labels, child in FALLBACKS.children()
+    }
+    return (EPOCHS.value, FAST_OPS.value, INTERP_OPS.value, fallbacks)
+
+
+class TestFastTelemetry:
+    def test_fast_run_publishes_counters(self):
+        epochs0, _, interp0, _ = _counter_snapshot()
+        execute_spec(RunSpec.build("Dy-FUSE", "SS", backend="fast",
+                                   **SPEC_KW))
+        epochs1, _, interp1, fallbacks = _counter_snapshot()
+        assert epochs1 > epochs0
+        # the tracked pairs are miss-heavy: most ops go through the
+        # interpreter path, and every epoch ends with a recorded reason
+        assert interp1 > interp0
+        assert sum(fallbacks.values()) > 0
+
+    def test_interp_run_leaves_counters_alone(self):
+        before = _counter_snapshot()
+        execute_spec(RunSpec.build("Dy-FUSE", "SS", backend="interp",
+                                   **SPEC_KW))
+        assert _counter_snapshot() == before
+
+    def test_backend_epoch_span_emitted(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SPANS", raising=False)
+        log = tmp_path / "spans.jsonl"
+        enable_spans(log)
+        try:
+            execute_spec(RunSpec.build("L1-SRAM", "ATAX", backend="fast",
+                                       **SPEC_KW))
+        finally:
+            disable_spans()
+        spans = [s for s in read_spans(log) if s["name"] == "backend_epoch"]
+        assert len(spans) == 1
+        args = spans[0]["args"]
+        assert args["epochs"] >= 1
+        assert args["interp_ops"] >= 0 and args["fast_ops"] >= 0
+        assert all(count > 0 for count in args["fallbacks"].values())
+
+    def test_timeline_sampler_falls_back_to_interp_loop(self):
+        """Sampled fast runs use the per-op loop (epochs would leap
+        over sampling points) and stay bit-identical, timeline included.
+        """
+        kw = dict(SPEC_KW, timeline_interval=200)
+        base = execute_spec(RunSpec.build("L1-SRAM", "ATAX",
+                                          backend="interp", **kw))
+        _, _, _, fb0 = _counter_snapshot()
+        fast = execute_spec(RunSpec.build("L1-SRAM", "ATAX",
+                                          backend="fast", **kw))
+        _, _, _, fb1 = _counter_snapshot()
+        assert result_to_dict(base) == result_to_dict(fast)
+        assert fast.timeline is not None
+        assert fb1.get("timeline", 0) == fb0.get("timeline", 0) + 1
+
+    def test_stats_flushed_not_accumulated(self):
+        """Per-run stat fields are zeroed after the flush, so one
+        simulator instance never leaks counts into the next run's
+        span/counter report."""
+        spec = RunSpec.build("L1-SRAM", "ATAX", backend="fast", **SPEC_KW)
+        execute_spec(spec)
+        epochs0, fast0, interp0, _ = _counter_snapshot()
+        execute_spec(spec)
+        epochs1, fast1, interp1, _ = _counter_snapshot()
+        # second run adds its own (identical) contribution, not a
+        # compounding one; equality pins the flush-and-zero behaviour
+        execute_spec(spec)
+        epochs2, fast2, interp2, _ = _counter_snapshot()
+        assert epochs2 - epochs1 == epochs1 - epochs0
+        assert fast2 - fast1 == fast1 - fast0
+        assert interp2 - interp1 == interp1 - interp0
