@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Eleven commands cover the workflows a downstream user reaches for
+Twelve commands cover the workflows a downstream user reaches for
 first:
 
 * ``list``    -- show the available L1D configurations and every
@@ -25,11 +25,16 @@ first:
   the model's).
 * ``serve``   -- run the HTTP job service (``docs/service-api.md``):
   sweeps over the wire, single-flight dedup, results served from the
-  store.
+  store.  ``--remote`` turns it into a lease-granting scheduler that
+  dispatches runs to pulling workers (``docs/distributed.md``).
 * ``submit``  -- send a sweep to a running service and stream its
   progress to completion (the client side of ``serve``).
+* ``worker``  -- pull leased runs from a ``serve --remote`` scheduler,
+  execute them locally and settle the outcomes back (the execution
+  side of the distributed fabric).
 * ``store``   -- operator tooling for the result store: ``info``,
-  ``compact``, ``path``.
+  ``compact``, ``path``, ``migrate`` (convert between the single-file
+  and sharded layouts).
 * ``metrics`` -- scrape a running service's ``GET /metrics`` exposition
   (optionally grep-filtered) without needing curl.
 * ``spans``   -- summarise a phase-span log (``REPRO_SPANS``) or export
@@ -40,6 +45,7 @@ first:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import cProfile
 import io
 import json
@@ -127,6 +133,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-store", action="store_true",
         help="disable the persistent store for this sweep",
+    )
+    sweep.add_argument(
+        "--store-backend", choices=("jsonl", "sharded"), default=None,
+        help="on-disk layout for a NEW store (default: "
+             "REPRO_STORE_BACKEND or jsonl; an existing store's layout "
+             "always wins)",
     )
     sweep.add_argument(
         "--seed", type=int, default=0, help="simulation seed (default 0)",
@@ -238,6 +250,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-store", action="store_true",
         help="serve without a persistent store (in-memory dedup only)",
     )
+    serve.add_argument(
+        "--store-backend", choices=("jsonl", "sharded"), default=None,
+        help="on-disk layout for a NEW store (default: "
+             "REPRO_STORE_BACKEND or jsonl)",
+    )
+    serve.add_argument(
+        "--remote", action="store_true",
+        help="dispatch runs to pulling `repro worker` processes over "
+             "the lease protocol instead of simulating in-process "
+             "(also REPRO_SERVICE_REMOTE=1; see docs/distributed.md)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull leased runs from a `repro serve --remote` scheduler, "
+             "execute them and settle the outcomes back",
+    )
+    worker.add_argument(
+        "--url", default=None,
+        help="scheduler base URL (default: REPRO_SERVICE_URL or "
+             "http://127.0.0.1:8177)",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="worker identity shown in lease grants (default host:pid)",
+    )
+    worker.add_argument(
+        "--max-runs", type=int, default=None,
+        help="max runs per lease batch (default 8, server clamps to 64)",
+    )
+    worker.add_argument(
+        "--ttl", type=float, default=None,
+        help="requested lease TTL in seconds (default 60; must outlast "
+             "the slowest gap between settles or runs are re-issued)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle sleep between empty lease attempts (default 0.5)",
+    )
+    worker.add_argument(
+        "--once", action="store_true",
+        help="exit after the first settled (or empty) lease",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -296,6 +354,27 @@ def _build_parser() -> argparse.ArgumentParser:
             help="result-store path (default: REPRO_STORE env or "
                  "~/.cache/repro/results.jsonl)",
         )
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="copy every live record into a fresh store at DEST "
+             "(convert between single-file and sharded layouts)",
+    )
+    migrate.add_argument(
+        "dest", help="destination store path (must be empty or absent)",
+    )
+    migrate.add_argument(
+        "--store", default=None,
+        help="source store path (default: REPRO_STORE env or "
+             "~/.cache/repro/results.jsonl)",
+    )
+    migrate.add_argument(
+        "--backend", choices=("jsonl", "sharded"), default=None,
+        help="destination layout (default: REPRO_STORE_BACKEND or jsonl)",
+    )
+    migrate.add_argument(
+        "--shards", type=int, default=None,
+        help="segment count for a sharded destination (default 16)",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -622,7 +701,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # --store "" disables persistence, mirroring REPRO_STORE=""
         path = args.store if args.store is not None else default_store_path()
         if path:
-            store = ResultStore(path)
+            store = ResultStore(path, backend=args.store_backend)
     engine = ExperimentEngine(
         store=store,
         # profiling needs the work in-process (and really executed, hence
@@ -739,13 +818,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = build_service(
         host=host, port=port, store_path=args.store, no_store=args.no_store,
         workers=args.workers, max_queue=args.queue, max_active=args.active,
+        remote=True if args.remote else None,
+        store_backend=args.store_backend,
     )
     store = service.scheduler.engine.store
 
     def announce(svc) -> None:
+        mode = (
+            "remote (workers pull leases)" if svc.scheduler.remote
+            else f"workers {svc.scheduler.engine.workers}"
+        )
         print(
             f"repro service on http://{svc.host}:{svc.port} "
-            f"(workers {svc.scheduler.engine.workers}, "
+            f"({mode}, "
             f"queue {svc.scheduler.max_queue}, "
             f"store {store.path if store is not None else 'disabled'})",
             flush=True,
@@ -825,6 +910,36 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.service.client import ServiceError
+    from repro.service.worker import run_worker
+
+    url = (
+        args.url or os.environ.get("REPRO_SERVICE_URL")
+        or "http://127.0.0.1:8177"
+    )
+    log = None if args.quiet else (
+        lambda line: print(f"[worker] {line}", file=sys.stderr, flush=True)
+    )
+    # fleet managers stop workers with SIGTERM: exit cleanly -- any
+    # in-flight lease is covered by its TTL (the scheduler re-issues it)
+    with contextlib.suppress(ValueError):  # not the main thread
+        signal.signal(signal.SIGTERM, lambda *_args: sys.exit(0))
+    try:
+        return run_worker(
+            url, name=args.name, max_runs=args.max_runs, ttl=args.ttl,
+            poll_s=args.poll, once=args.once, log=log,
+        )
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     path = args.store if args.store is not None else default_store_path()
     if not path:
@@ -837,30 +952,60 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "path":
         print(path)
         return 0
+    if args.store_command == "migrate":
+        from repro.engine.store import migrate_store
+
+        source = ResultStore(path)
+        dest = ResultStore(
+            args.dest, backend=args.backend, shards=args.shards
+        )
+        try:
+            copied = migrate_store(source, dest)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"migrated {copied} records: {source.path} "
+            f"({source.backend_name}) -> {dest.path} ({dest.backend_name})"
+        )
+        return 0
     store = ResultStore(path)
     if args.store_command == "info":
         info = store.info()
+        fields = [
+            "path", "backend", "records", "stale_records",
+            "schema_version", "size_bytes",
+        ]
+        if "shards" in info:
+            fields.insert(2, "shards")
         print(format_table(
             ["field", "value"],
-            [[key, info[key]] for key in (
-                "path", "records", "stale_records", "schema_version",
-                "size_bytes",
-            )],
+            [[key, info[key]] for key in fields],
             title="Result store",
         ))
+        for row in info.get("shard_info", ()):
+            if row["records"] or row["stale_records"]:
+                print(
+                    f"  shard {row['shard']:02d}: {row['records']} records, "
+                    f"{row['stale_records']} stale, "
+                    f"{row['size_bytes']} bytes"
+                )
         return 0
     # compact: rewrite keeping one live record per key, dropping
     # stale-schema and superseded records
     before = store.info()
-    try:
-        with store.path.open("r", encoding="utf-8") as handle:
-            raw_records = sum(1 for line in handle if line.strip())
-    except OSError:
-        raw_records = 0
+    raw_records = 0
+    for file_path in store.files():
+        try:
+            with file_path.open("r", encoding="utf-8") as handle:
+                raw_records += sum(1 for line in handle if line.strip())
+        except OSError:
+            pass
     live = store.compact()
     after = store.info()
     print(
-        f"compacted {store.path}: {live} live records, "
+        f"compacted {store.path} ({store.backend_name}): "
+        f"{live} live records, "
         f"{max(0, raw_records - live)} dropped (stale or superseded), "
         f"{before['size_bytes']} -> {after['size_bytes']} bytes"
     )
@@ -963,6 +1108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "store":
             return _cmd_store(args)
         if args.command == "metrics":

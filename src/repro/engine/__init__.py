@@ -43,10 +43,16 @@ from repro.engine.spec import (
     execute_spec,
     gpu_profile,
     scale_preset,
+    spec_from_dict,
     spec_to_dict,
     trace_key,
 )
-from repro.engine.store import ResultStore, default_store_path
+from repro.engine.store import (
+    STORE_BACKENDS,
+    ResultStore,
+    default_store_path,
+    migrate_store,
+)
 
 __all__ = [
     "ExperimentEngine",
@@ -59,6 +65,7 @@ __all__ = [
     "RunSpec",
     "SCALE_PRESETS",
     "SCHEMA_VERSION",
+    "STORE_BACKENDS",
     "arena_for_spec",
     "config_from_dict",
     "config_to_dict",
@@ -66,9 +73,11 @@ __all__ = [
     "default_workers",
     "execute_spec",
     "gpu_profile",
+    "migrate_store",
     "result_from_dict",
     "result_to_dict",
     "scale_preset",
+    "spec_from_dict",
     "spec_to_dict",
     "stderr_progress",
     "trace_key",

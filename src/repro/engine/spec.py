@@ -35,7 +35,7 @@ from typing import Dict, Optional, Union
 
 from repro.core.factory import L1DConfig, l1d_config, make_l1d
 from repro.energy.model import compute_energy, l1d_energy_params
-from repro.engine.serialize import config_to_dict
+from repro.engine.serialize import config_from_dict, config_to_dict
 from repro.gpu.config import GPUConfig, fermi_like, volta_like
 from repro.gpu.stats import SimulationResult
 from repro.telemetry.spans import span
@@ -45,8 +45,8 @@ from repro.workloads.trace import TraceScale
 
 __all__ = [
     "GPU_PROFILES", "RunKey", "RunSpec", "SCALE_PRESETS", "arena_for_spec",
-    "execute_spec", "gpu_profile", "scale_preset", "spec_to_dict",
-    "trace_key",
+    "execute_spec", "gpu_profile", "scale_preset", "spec_from_dict",
+    "spec_to_dict", "trace_key",
 ]
 
 #: named machine profiles a spec may reference
@@ -248,6 +248,37 @@ def spec_to_dict(spec: RunSpec) -> Dict:
     # spec.backend is deliberately absent: backends are bit-identical,
     # so it is not part of run identity (see RunSpec's docstring)
     return payload
+
+
+def spec_from_dict(payload: Dict) -> RunSpec:
+    """Rebuild a :class:`RunSpec` from its :func:`spec_to_dict` form.
+
+    This is the worker wire format: a scheduler leases runs as
+    ``{"key", "spec"}`` payloads and the worker reconstructs the spec
+    here.  The round trip is identity-preserving --
+    ``RunKey.for_spec(spec_from_dict(spec_to_dict(s))) == s.key()`` --
+    which the worker verifies before executing, so a corrupted or
+    mismatched payload is rejected instead of poisoning the store.
+    ``backend`` is not part of the payload (not run identity); it
+    stays empty and defers to ``REPRO_BACKEND`` on the executing host.
+
+    Raises:
+        ValueError: missing or malformed fields.
+    """
+    try:
+        return RunSpec(
+            l1d=config_from_dict(dict(payload["l1d"])),
+            workload=str(payload["workload"]),
+            gpu_profile=str(payload["gpu_profile"]),
+            scale=str(payload["scale"]),
+            seed=int(payload["seed"]),
+            num_sms=int(payload["num_sms"]),
+            trace_salt=int(payload["trace_salt"]),
+            trace_sha256=payload.get("trace_sha256"),
+            timeline_interval=int(payload.get("timeline_interval", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"malformed spec payload: {error}") from error
 
 
 def trace_key(spec: RunSpec) -> str:

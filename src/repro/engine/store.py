@@ -1,6 +1,6 @@
 """Disk-backed result store: the L2 of the memoisation hierarchy.
 
-Results live in an append-only JSON-lines file (one record per line):
+Results are schema-versioned JSON records (one per line):
 
 .. code-block:: json
 
@@ -18,15 +18,25 @@ Results live in an append-only JSON-lines file (one record per line):
   and closes the file (maximally crash-tolerant: the line is durable
   the moment put returns).  Inside a :meth:`ResultStore.batched` block
   -- which the experiment engine wraps around every sweep -- puts write
-  through one held handle and the store flushes every ``flush_every``
+  through held handles and the store flushes every ``flush_every``
   records (the engine passes its pool chunk size) and at block exit, so
-  a sweep of N runs costs one open/close instead of N.  Crash tolerance
-  inside a batch weakens only boundedly: a killed process loses at most
-  the puts since the last flush (plus whatever the OS had not yet made
-  durable -- the store never fsyncs, batched or not), and a torn final
-  line is skipped on the next load rather than poisoning the file.
+  a sweep of N runs costs one open/close per touched file instead of N.
+  Crash tolerance inside a batch weakens only boundedly: a killed
+  process loses at most the puts since the last flush (plus whatever
+  the OS had not yet made durable -- the store never fsyncs, batched or
+  not), and a torn final line is skipped on the next load rather than
+  poisoning the file.
 * **corruption tolerance** -- unparsable lines (e.g. a truncated final
   line from a killed process) are skipped, never fatal.
+
+The on-disk **layout** is pluggable (see
+:mod:`repro.engine.store_backends`): the default ``"jsonl"`` backend is
+the original single file, and the ``"sharded"`` backend spreads records
+over N per-shard segment files so fleet-scale concurrent writers do not
+contend on one flock.  The layout is selected per store by
+``--store-backend`` / ``REPRO_STORE_BACKEND`` for *new* stores; an
+existing store's on-disk layout always wins, and
+:func:`migrate_store` converts between the two losslessly.
 
 The default location is ``~/.cache/repro/results.jsonl``, overridable
 via the ``REPRO_STORE`` environment variable or an explicit path
@@ -37,15 +47,9 @@ disables the default store.
 from __future__ import annotations
 
 import contextlib
-import json
 import os
 import pathlib
-from typing import Dict, Iterator, Optional, Union
-
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    fcntl = None
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.engine.serialize import (
     SCHEMA_VERSION,
@@ -53,12 +57,22 @@ from repro.engine.serialize import (
     result_to_dict,
 )
 from repro.engine.spec import RunKey, RunSpec, spec_to_dict
+from repro.engine.store_backends import (
+    BACKEND_ENV,
+    STORE_BACKENDS,
+    ShardedBackend,
+    SingleFileBackend,
+    _flock,
+    default_store_backend,
+    detect_backend,
+)
 from repro.gpu.stats import SimulationResult
 from repro.telemetry.metrics import REGISTRY
 from repro.telemetry.spans import span
 
 __all__ = [
-    "DEFAULT_STORE_DIR", "ResultStore", "default_store_path",
+    "BACKEND_ENV", "DEFAULT_STORE_DIR", "ResultStore", "STORE_BACKENDS",
+    "default_store_path", "migrate_store",
 ]
 
 #: default on-disk location (under the user cache directory)
@@ -74,28 +88,6 @@ _PUTS = REGISTRY.counter(
     "repro_store_puts", "Result records appended")
 _COMPACTIONS = REGISTRY.counter(
     "repro_store_compactions", "Store files rewritten by compact()")
-
-
-def _flock(handle, exclusive: bool, blocking: bool = True) -> bool:
-    """Advisory-lock an open store handle; ``True`` when acquired.
-
-    Writers (bare puts, :meth:`ResultStore.batched` blocks) take the
-    lock shared; :meth:`ResultStore.compact` takes it exclusive, so a
-    rewrite can never orphan a live writer's inode (the writer would
-    keep appending to the replaced file and silently lose every
-    subsequent record).  On platforms without :mod:`fcntl` the lock is
-    a no-op that reports success -- same guarantees as before.
-    """
-    if fcntl is None:
-        return True
-    flags = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
-    if not blocking:
-        flags |= fcntl.LOCK_NB
-    try:
-        fcntl.flock(handle.fileno(), flags)
-        return True
-    except OSError:
-        return False
 
 
 def default_store_path() -> Optional[pathlib.Path]:
@@ -115,80 +107,61 @@ def default_store_path() -> Optional[pathlib.Path]:
 class ResultStore:
     """Persistent (run key -> SimulationResult) mapping on disk.
 
+    The mapping semantics (content-hashed keys, newest record wins,
+    schema invalidation, batched appends, corruption tolerance) are
+    identical across backends; only the on-disk layout differs.
+
     Args:
-        path: JSON-lines file; parent directories are created lazily on
-            first write.
+        path: store location -- a JSON-lines file for the ``"jsonl"``
+            backend, a directory for ``"sharded"``.  Parents are
+            created lazily on first write.
         schema_version: records carrying any other tag are invisible
             (tests override this to simulate stale caches).
+        backend: on-disk layout, one of :data:`STORE_BACKENDS`.  When
+            omitted, an existing store's detected layout wins, then
+            ``REPRO_STORE_BACKEND``, then ``"jsonl"``.
+        shards: segment count for a *newly created* sharded store
+            (existing stores keep their recorded count).
     """
 
     def __init__(
         self,
         path: Union[str, pathlib.Path],
         schema_version: int = SCHEMA_VERSION,
+        backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.path = pathlib.Path(path).expanduser()
         self.schema_version = schema_version
-        self._index: Dict[str, dict] = {}
-        self._stale_records = 0
-        self._loaded = False
-        self._batch_handle = None
-        self._batch_pending = 0
-        self._batch_flush_every = 1
+        name = backend or detect_backend(self.path) or default_store_backend()
+        if name == "sharded":
+            self._backend = ShardedBackend(
+                self.path, schema_version, shards=shards)
+        elif name == "jsonl":
+            self._backend = SingleFileBackend(self.path, schema_version)
+        else:
+            raise ValueError(
+                f"unknown store backend {name!r}; "
+                f"expected one of {list(STORE_BACKENDS)}"
+            )
 
-    # ------------------------------------------------------------------
-    def _ensure_loaded(self) -> None:
-        if self._loaded:
-            return
-        self._loaded = True
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # truncated/corrupt line: skip, don't die
-                if record.get("schema") != self.schema_version:
-                    self._stale_records += 1
-                    continue
-                key = record.get("key")
-                if key:
-                    self._index[key] = record
+    @property
+    def backend_name(self) -> str:
+        """The active on-disk layout (``"jsonl"`` or ``"sharded"``)."""
+        return self._backend.name
 
-    # ------------------------------------------------------------------
-    def _open_locked_append(self):
-        """Append handle holding the shared writer lock.
-
-        If a concurrent :meth:`compact` replaced the file between our
-        open and the lock acquisition, the handle points at the
-        orphaned inode -- writes there would vanish.  Re-open until the
-        locked handle and the path agree (bounded: compaction is rare
-        and quick).
-        """
-        for _ in range(5):
-            handle = self.path.open("a", encoding="utf-8")
-            _flock(handle, exclusive=False)
-            if fcntl is None:
-                return handle
-            try:
-                if (os.fstat(handle.fileno()).st_ino
-                        == self.path.stat().st_ino):
-                    return handle
-            except OSError:
-                pass
-            handle.close()
-        return self.path.open("a", encoding="utf-8")
+    @property
+    def _batch_handle(self):
+        """Truthy while a :meth:`batched` block is open (kept for
+        callers that probe batch state; the handle itself is owned by
+        the backend)."""
+        return self._backend.batch_active
 
     # ------------------------------------------------------------------
     def get(self, key: Union[str, RunKey]) -> Optional[SimulationResult]:
         """Fetch a stored result, or ``None`` when absent/stale."""
-        self._ensure_loaded()
         digest = key.digest if isinstance(key, RunKey) else key
-        record = self._index.get(digest)
+        record = self._backend.get_record(digest)
         if record is None:
             _GETS_MISS.inc()
             return None
@@ -202,7 +175,6 @@ class ResultStore:
         (durable on return); inside one it goes through the held handle
         (flushed per ``flush_every`` puts and at block exit).
         """
-        self._ensure_loaded()
         key = spec.key()
         record = {
             "schema": self.schema_version,
@@ -210,47 +182,32 @@ class ResultStore:
             "spec": spec_to_dict(spec),
             "result": result_to_dict(result),
         }
-        line = json.dumps(record, sort_keys=True) + "\n"
         with span("store_put", key=key.digest[:12]):
-            if self._batch_handle is not None:
-                self._batch_handle.write(line)
-                self._batch_pending += 1
-                if self._batch_pending >= self._batch_flush_every:
-                    self.flush()
-            else:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                with self._open_locked_append() as handle:
-                    handle.write(line)
-        self._index[key.digest] = record
+            self._backend.put_record(key.digest, record)
         _PUTS.inc()
         return key
 
+    def put_record(self, key: Union[str, RunKey], record: dict) -> None:
+        """Persist one *raw* record dict unchanged (migration path --
+        normal writers use :meth:`put`)."""
+        digest = key.digest if isinstance(key, RunKey) else key
+        self._backend.put_record(digest, record)
+        _PUTS.inc()
+
     def flush(self) -> None:
         """Push batched writes to the OS (no-op outside a batch)."""
-        if self._batch_handle is not None:
-            self._batch_handle.flush()
-            self._batch_pending = 0
+        self._backend.flush()
 
     @contextlib.contextmanager
     def batched(self, flush_every: int = 16) -> Iterator["ResultStore"]:
-        """Hold one append handle open across many :meth:`put` calls.
+        """Hold append handles open across many :meth:`put` calls.
 
-        Reentrant: nested blocks reuse the outer handle (the outer block
-        owns closing it).  See the module docstring for the
+        Reentrant: nested blocks reuse the outer handles (the outer
+        block owns closing them).  See the module docstring for the
         crash-tolerance semantics.
         """
-        if self._batch_handle is not None:
-            yield self  # nested: the outer batch owns the handle
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._batch_flush_every = max(1, flush_every)
-        self._batch_handle = self._open_locked_append()
-        try:
+        with self._backend.batched(flush_every):
             yield self
-        finally:
-            handle, self._batch_handle = self._batch_handle, None
-            self._batch_pending = 0
-            handle.close()
 
     def record(self, key: Union[str, RunKey]) -> Optional[dict]:
         """The raw stored record for *key* (``{"schema", "key", "spec",
@@ -260,83 +217,89 @@ class ResultStore:
         result payload together with the spec it was computed from
         (provenance), without deserialising into simulation objects.
         """
-        self._ensure_loaded()
         digest = key.digest if isinstance(key, RunKey) else key
-        return self._index.get(digest)
+        return self._backend.get_record(digest)
 
     def keys(self) -> Iterator[str]:
         """Iterate over the digests of every live record."""
-        self._ensure_loaded()
-        return iter(list(self._index))
+        return iter(self._backend.keys())
+
+    def files(self) -> List[pathlib.Path]:
+        """Every on-disk file holding records (one for ``jsonl``, the
+        existing segments for ``sharded``)."""
+        return self._backend.files()
 
     def info(self) -> Dict[str, object]:
-        """Operator-facing snapshot: path, live/stale record counts and
-        the on-disk size in bytes (0 when the file does not exist)."""
-        self._ensure_loaded()
-        try:
-            size = self.path.stat().st_size
-        except OSError:
-            size = 0
-        return {
-            "path": str(self.path),
-            "records": len(self._index),
-            "stale_records": self._stale_records,
-            "schema_version": self.schema_version,
-            "size_bytes": size,
-        }
+        """Operator-facing snapshot: path, backend, live/stale record
+        counts and the on-disk size in bytes (0 when nothing exists
+        yet).  Sharded stores add ``shards`` and a per-shard
+        ``shard_info`` breakdown."""
+        data = self._backend.info()
+        data["path"] = str(self.path)
+        data["schema_version"] = self.schema_version
+        return data
 
     # ------------------------------------------------------------------
     def __contains__(self, key: Union[str, RunKey]) -> bool:
-        self._ensure_loaded()
         digest = key.digest if isinstance(key, RunKey) else key
-        return digest in self._index
+        return self._backend.get_record(digest) is not None
 
     def __len__(self) -> int:
-        self._ensure_loaded()
-        return len(self._index)
+        return len(self._backend)
 
     @property
     def stale_records(self) -> int:
         """Records skipped on load because their schema tag mismatched."""
-        self._ensure_loaded()
-        return self._stale_records
+        return self._backend.stale_records
 
     def compact(self) -> int:
-        """Rewrite the file keeping only current-schema records (one per
-        key); returns the number of live records.
+        """Rewrite the store keeping only current-schema records (one
+        per key); returns the number of live records.
 
-        The rewrite holds the writer lock exclusively and re-reads the
-        file under it, so records appended by another process after
-        this store loaded its index are preserved, and a process
+        Each file is rewritten under an exclusive writer lock and
+        re-read beneath it, so records appended by another process
+        after this store loaded its index are preserved, and a process
         currently *holding* a writer lock (a sweep mid-append) makes
-        compaction refuse rather than orphan its inode.
+        compaction refuse rather than orphan its inode.  On the sharded
+        backend the rewrite is per shard: a refused shard leaves every
+        other shard compacted.
 
         Raises:
             RuntimeError: inside a :meth:`batched` block (the rewrite
-                would orphan the held append handle and silently drop
-                its subsequent writes), or while another process holds
-                a writer lock on the file.
+                would orphan the held append handles and silently drop
+                their subsequent writes), or while another process
+                holds a writer lock on a file being rewritten.
         """
-        if self._batch_handle is not None:
-            raise RuntimeError("compact() is not allowed inside batched()")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as guard:
-            if not _flock(guard, exclusive=True, blocking=False):
-                raise RuntimeError(
-                    f"{self.path} is being written by another process; "
-                    "retry when its sweep finishes"
-                )
-            # re-read under the lock: another process may have appended
-            # records since this store first loaded its index
-            self._loaded = False
-            self._index.clear()
-            self._stale_records = 0
-            self._ensure_loaded()
-            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-            with tmp.open("w", encoding="utf-8") as handle:
-                for record in self._index.values():
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
-            tmp.replace(self.path)
-        self._stale_records = 0
+        live = self._backend.compact()
         _COMPACTIONS.inc()
-        return len(self._index)
+        return live
+
+
+def migrate_store(source: ResultStore, dest: ResultStore) -> int:
+    """Copy every live record from *source* into *dest* (one-shot
+    ``repro store migrate``); returns the number of records copied.
+
+    Records are copied raw (bytes-for-bytes payloads, no re-keying), so
+    the migration is lossless for everything visible: stale-schema and
+    corrupt lines are dropped exactly as a :meth:`ResultStore.compact`
+    would drop them.
+
+    Raises:
+        ValueError: *dest* already holds records (a partial overwrite
+            could silently shadow newer results; point the migration at
+            a fresh path instead).
+    """
+    if len(dest) > 0:
+        raise ValueError(
+            f"destination store {dest.path} already holds {len(dest)} "
+            "record(s); migrate into a fresh path"
+        )
+    copied = 0
+    with dest.batched(flush_every=64):
+        for digest in source.keys():
+            record = source.record(digest)
+            if record is None:  # pragma: no cover - raced compaction
+                continue
+            dest.put_record(digest, record)
+            copied += 1
+    return copied

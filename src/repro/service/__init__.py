@@ -24,14 +24,25 @@ standard library (``asyncio`` server, ``urllib`` client):
 * :mod:`repro.service.client` -- ``urllib``-based
   :class:`~repro.service.client.ServiceClient` with submit / poll /
   stream helpers (what ``repro submit`` uses).
+* :mod:`repro.service.leases` + :mod:`repro.service.worker` -- the
+  distributed fabric.  In remote mode (``repro serve --remote``) the
+  scheduler queues run keys on a TTL-leased pull protocol instead of
+  executing them; ``repro worker --url`` processes lease batches,
+  execute them through :func:`~repro.engine.spec.execute_spec` and
+  settle outcomes back, with lease expiry re-queueing a crashed
+  worker's runs.  Single-flight holds fleet-wide: the run-key lease is
+  the coalescing layer, so two workers can never simulate one key.
 
-See ``docs/service-api.md`` for the wire API and deployment knobs.
+See ``docs/service-api.md`` for the wire API and deployment knobs, and
+``docs/distributed.md`` for the lease lifecycle and failure model.
 """
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import InvalidRequest, Job, SweepRequest, job_id_for
+from repro.service.leases import Lease, LeaseManager
 from repro.service.scheduler import Draining, JobScheduler, QueueFull
 from repro.service.server import BackgroundService, SimulationService
+from repro.service.worker import run_worker
 
 __all__ = [
     "BackgroundService",
@@ -39,10 +50,13 @@ __all__ = [
     "InvalidRequest",
     "Job",
     "JobScheduler",
+    "Lease",
+    "LeaseManager",
     "QueueFull",
     "ServiceClient",
     "ServiceError",
     "SimulationService",
     "SweepRequest",
     "job_id_for",
+    "run_worker",
 ]

@@ -144,6 +144,46 @@ class ServiceClient:
         query = urllib.parse.urlencode({"key": key})
         return self._request("GET", f"/v1/results?{query}")
 
+    # ------------------------------------------------------------------
+    def lease(
+        self,
+        worker: str = "anonymous",
+        max_runs: Optional[int] = None,
+        ttl: Optional[float] = None,
+    ) -> Dict:
+        """POST /v1/leases: pull a batch of pending runs (remote mode).
+
+        Returns the grant payload -- ``{"lease", "ttl", "runs":
+        [{"key", "spec"}, ...], "draining"}``; ``runs`` is empty (and
+        ``lease`` null) when nothing is pending.
+        """
+        payload: Dict = {"worker": worker}
+        if max_runs is not None:
+            payload["max_runs"] = max_runs
+        if ttl is not None:
+            payload["ttl"] = ttl
+        return self._request("POST", "/v1/leases", payload)
+
+    def settle(self, lease_id: str, runs) -> Dict:
+        """POST /v1/leases/{id}/settle: report leased outcomes.
+
+        *runs* is a list of ``{"key", "result"}`` (success, the
+        serialized result payload) or ``{"key", "error"}`` entries.
+
+        Raises:
+            ServiceError: status 410 when the lease expired and none of
+                the keys were still claimable -- drop the batch and
+                lease again.
+        """
+        return self._request(
+            "POST", f"/v1/leases/{lease_id}/settle", {"runs": list(runs)}
+        )
+
+    def leases(self) -> Dict:
+        """GET /v1/leases: active leases + pending-queue snapshot."""
+        return self._request("GET", "/v1/leases")
+
+    # ------------------------------------------------------------------
     def healthz(self) -> Dict:
         return self._request("GET", "/healthz")
 

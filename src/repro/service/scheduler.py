@@ -26,6 +26,16 @@ wait in a bounded FIFO queue; submissions past ``max_queue`` raise
 All scheduler state is mutated on the event loop thread only -- the
 engine thread's streaming callbacks are marshalled across with
 ``call_soon_threadsafe`` -- so there are no locks around job state.
+
+**Remote mode** (``remote=True``, ``repro serve --remote``) replaces
+the in-process engine dispatch with the worker-pull fabric: a job's
+non-coalesced keys are queued on a :class:`~repro.service.leases.
+LeaseManager` instead of entering the engine, ``repro worker``
+processes lease them over HTTP, and their settlements flow through the
+same per-key futures, counters and SSE events as a local engine
+outcome.  Coalescing layers 1--3 are unchanged (the run-key lease *is*
+layer 2, now fleet-wide), and a reaper task on the event loop expires
+dead workers' leases back into the queue so no job hangs on a crash.
 """
 
 from __future__ import annotations
@@ -40,6 +50,12 @@ from repro.engine.engine import ExperimentEngine, RunOutcome
 from repro.engine.serialize import result_to_dict
 from repro.engine.spec import RunSpec, spec_to_dict
 from repro.service.jobs import Job, SweepRequest
+from repro.service.leases import (
+    DEFAULT_LEASE_RUNS,
+    DEFAULT_LEASE_TTL_S,
+    MAX_ATTEMPTS,
+    LeaseManager,
+)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import record_span
 
@@ -76,6 +92,10 @@ class JobScheduler:
         max_active: concurrently executing job bound.
         result_cache: in-memory completed-record bound (LRU).
         job_history: finished jobs retained for later GETs.
+        remote: dispatch runs to pulling workers (lease protocol)
+            instead of the in-process engine.
+        lease_reap_interval: reaper tick for expiring dead leases
+            (remote mode only).
     """
 
     def __init__(
@@ -85,6 +105,8 @@ class JobScheduler:
         max_active: int = DEFAULT_MAX_ACTIVE,
         result_cache: int = DEFAULT_RESULT_CACHE,
         job_history: int = DEFAULT_JOB_HISTORY,
+        remote: bool = False,
+        lease_reap_interval: float = 0.25,
     ) -> None:
         self.engine = engine
         self.max_queue = max(0, max_queue)
@@ -107,6 +129,10 @@ class JobScheduler:
         # engine entries are serialised: the store's batched handle (and
         # the engine's settle bookkeeping) is single-threaded by design
         self._engine_lock = threading.Lock()
+        self.remote = bool(remote)
+        self.leases = LeaseManager()
+        self._reap_interval = max(0.05, float(lease_reap_interval))
+        self._reaper: Optional[asyncio.Task] = None
         # per-scheduler registry: concurrent services in one process
         # (tests run many) must never see each other's counters.  The
         # HTTP layer renders this together with the process-wide
@@ -127,6 +153,32 @@ class JobScheduler:
             )
         }
         self._register_gauges()
+        if self.remote:
+            self._register_lease_metrics()
+
+    def _register_lease_metrics(self) -> None:
+        """Lease-fabric accounting, registered only in remote mode so a
+        local service's exposition is unchanged."""
+        self._lease_granted = self.registry.counter(
+            "repro_lease_granted", "Leases granted to pulling workers")
+        self._lease_runs_leased = self.registry.counter(
+            "repro_lease_runs_leased", "Run keys handed out under leases")
+        self._lease_settled = self.registry.counter(
+            "repro_lease_settled",
+            "Worker-settled run keys by outcome",
+            labelnames=("outcome",),
+        )
+        self._lease_expired = self.registry.counter(
+            "repro_lease_expired", "Leases reaped past their TTL")
+        self._lease_requeued = self.registry.counter(
+            "repro_lease_requeued_runs",
+            "Run keys returned to the pending queue by lease expiry")
+        self.registry.gauge(
+            "repro_lease_active", "Leases currently held by workers"
+        ).set_function(lambda: self.leases.active_leases)
+        self.registry.gauge(
+            "repro_lease_pending_runs", "Run keys awaiting a worker"
+        ).set_function(lambda: self.leases.pending_runs)
 
     def _register_gauges(self) -> None:
         """Expose live scheduler state as read-at-scrape-time gauges."""
@@ -286,13 +338,20 @@ class JobScheduler:
             elif key in self._records:
                 self._records.move_to_end(key)
                 self._settle(job, key, "store")
+            elif self.remote and self._stored_record(key) is not None:
+                # locally the engine's own store lookup serves this; in
+                # remote mode nothing enters the engine, so the store
+                # check happens here before a key is queued for workers
+                self._settle(job, key, "store")
             else:
                 dispatch.append(spec)
                 owned.append(key)
                 self._inflight[key] = self._loop.create_future()
 
         failure: Optional[str] = None
-        if dispatch:
+        if dispatch and self.remote:
+            await self._run_remote(job, dispatch, owned)
+        elif dispatch:
             loop = self._loop
 
             def on_outcome(outcome: RunOutcome) -> None:
@@ -338,6 +397,159 @@ class JobScheduler:
             },
         )
         self._emit(job, {"event": "done", "job": job.snapshot()})
+
+    # ------------------------------------------------------------------
+    # remote mode: lease-based worker-pull dispatch
+    def _stored_record(self, key: str) -> Optional[dict]:
+        """Store lookup for remote dispatch (mirrors the hit into the
+        in-memory record cache so later jobs skip the store)."""
+        if self.engine.store is None:
+            return None
+        stored = self.engine.store.record(key)
+        if stored is None:
+            return None
+        self._remember(key, {
+            "key": key,
+            "spec": stored.get("spec"),
+            "result": stored.get("result"),
+        })
+        return stored
+
+    async def _run_remote(
+        self, job: Job, dispatch: List[RunSpec], owned: List[str]
+    ) -> None:
+        """Queue this job's owned keys for workers and await settlement.
+
+        The settle path (:meth:`claim_settlements` /
+        :meth:`finish_settlements`, and the reaper's abandon branch)
+        does the actual settling and resolves each key's in-flight
+        future; this coroutine only waits for all of them, exactly as
+        the local branch waits for the engine call to return.
+        """
+        self._ensure_reaper()
+        for key, spec in zip(owned, dispatch):
+            self.leases.add(key, (spec, job))
+        # hold references now: settlement pops the futures from _inflight
+        futures = [self._inflight[key] for key in owned]
+        for future in futures:
+            await future
+
+    def _ensure_reaper(self) -> None:
+        if self._reaper is None or self._reaper.done():
+            self._reaper = self._loop.create_task(self._reap_loop())
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._reap_interval)
+            self.reap_expired()
+
+    def reap_expired(self) -> None:
+        """Expire overdue leases: unsettled keys re-enter the pending
+        queue, and keys past their attempt budget settle as errors so
+        their jobs finish instead of hanging on a poison run."""
+        reaped, abandoned = self.leases.expire()
+        if not reaped:
+            return
+        self._lease_expired.inc(len(reaped))
+        requeued = sum(len(lease.runs) for lease in reaped) - len(abandoned)
+        if requeued:
+            self._lease_requeued.inc(requeued)
+        for key, (spec, job) in abandoned:
+            message = (
+                f"abandoned after {MAX_ATTEMPTS} lease attempts "
+                "(every worker that leased this run died or stalled)"
+            )
+            self._lease_settled.labels("abandoned").inc()
+            self._settle(job, key, "error", message)
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result(("error", message))
+
+    def grant_lease(
+        self,
+        worker: str,
+        max_runs: int = DEFAULT_LEASE_RUNS,
+        ttl: float = DEFAULT_LEASE_TTL_S,
+    ) -> Optional[dict]:
+        """Grant a worker a batch of pending runs (wire form), or
+        ``None`` when nothing is pending.
+
+        Leases are granted even while draining: accepted jobs must
+        still finish, and workers observe ``draining`` in the grant to
+        know they can exit once the queue runs dry.
+        """
+        lease = self.leases.lease(worker, max_runs=max_runs, ttl=ttl)
+        if lease is None:
+            return None
+        self._lease_granted.inc()
+        self._lease_runs_leased.inc(len(lease.runs))
+        return {
+            "lease": lease.lease_id,
+            "worker": lease.worker,
+            "ttl": lease.ttl,
+            "runs": [
+                {"key": digest, "spec": spec_to_dict(payload[0])}
+                for digest, payload in lease.runs.items()
+            ],
+            "draining": self.draining,
+        }
+
+    def claim_settlements(
+        self, lease_id: str, runs: List[dict]
+    ) -> Dict[str, object]:
+        """Settle phase 1 (event loop): pop each reported key from its
+        lease -- or from the pending queue, where a reaped lease's keys
+        wait (the late result is real, so it still counts).
+
+        Keys found in neither place are duplicates of a settlement that
+        already happened (or runs now owned by another worker's lease)
+        and are discarded.  Returns the accepted ``(key, spec, job,
+        result_payload, error)`` tuples plus bookkeeping for the HTTP
+        response; phase 2 persists off-loop and
+        :meth:`finish_settlements` completes the job bookkeeping.
+        """
+        lease_known = self.leases.get(lease_id) is not None
+        accepted: List[tuple] = []
+        duplicates = 0
+        for run in runs:
+            key = run["key"]
+            payload = self.leases.settle_key(lease_id, key)
+            if payload is None:
+                payload = self.leases.settle_pending(key)
+            if payload is None:
+                duplicates += 1
+                continue
+            spec, job = payload
+            accepted.append(
+                (key, spec, job, run.get("result"), run.get("error"))
+            )
+        lease = self.leases.get(lease_id)
+        return {
+            "accepted": accepted,
+            "duplicates": duplicates,
+            "lease_known": lease_known,
+            "remaining": len(lease.runs) if lease is not None else 0,
+        }
+
+    def finish_settlements(self, accepted: List[tuple]) -> None:
+        """Settle phase 3 (event loop): mirror results, settle owning
+        jobs and resolve in-flight futures -- the remote twin of
+        :meth:`_settle_from_engine`."""
+        for key, spec, job, result_payload, error in accepted:
+            if error is None:
+                self._remember(key, {
+                    "key": key,
+                    "spec": spec_to_dict(spec),
+                    "result": result_payload,
+                })
+                source = "fresh"
+            else:
+                source = "error"
+            self._lease_settled.labels(source).inc()
+            self._settle(job, key, source, error)
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result((source, error))
 
     # ------------------------------------------------------------------
     def _settle_from_engine(self, job: Job, outcome: RunOutcome) -> None:
@@ -435,6 +647,13 @@ class JobScheduler:
                 await asyncio.gather(*tasks, return_exceptions=True)
             else:  # queued but not yet pumped (no free slot this tick)
                 await asyncio.sleep(0.01)
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, object]:
@@ -466,4 +685,8 @@ class JobScheduler:
             info = self.engine.store.info()
             out["store_records"] = info["records"]
             out["store_size_bytes"] = info["size_bytes"]
+        if self.remote:
+            out["remote"] = 1
+            out["lease_pending_runs"] = self.leases.pending_runs
+            out["lease_active"] = self.leases.active_leases
         return out

@@ -15,6 +15,15 @@ Endpoints (see ``docs/service-api.md`` for payload shapes):
 * ``GET /v1/jobs/{id}/timeline`` -- the sampled per-run timelines of a
   job submitted with ``"timeline": <interval>`` (null per run until it
   settles or when sampling was off).
+* ``POST /v1/leases``          -- (remote mode) a worker pulls a lease
+  over a batch of pending runs; 200 with ``{"lease", "ttl", "runs"}``
+  (``runs`` empty when nothing is pending), 400 when the service is
+  not in remote mode.
+* ``POST /v1/leases/{id}/settle`` -- (remote mode) a worker settles
+  leased outcomes; 200 with accept/duplicate counts, 410 when the
+  lease expired and none of the keys were still claimable.
+* ``GET /v1/leases``           -- (remote mode) operator snapshot of
+  active leases and the pending-run queue.
 * ``GET /healthz``             -- liveness (``draining`` while
   shutting down).
 * ``GET /metrics``             -- Prometheus text exposition (format
@@ -47,8 +56,11 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.engine import ExperimentEngine
+from repro.engine.serialize import result_from_dict
+from repro.engine.spec import spec_to_dict
 from repro.engine.store import ResultStore, default_store_path
 from repro.service.jobs import InvalidRequest, SweepRequest
+from repro.service.leases import DEFAULT_LEASE_RUNS, DEFAULT_LEASE_TTL_S
 from repro.service.scheduler import (
     DEFAULT_MAX_ACTIVE,
     DEFAULT_MAX_QUEUE,
@@ -104,7 +116,7 @@ class _HTTPError(Exception):
 
 _STATUS_TEXT = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 411: "Length Required",
+    405: "Method Not Allowed", 410: "Gone", 411: "Length Required",
     413: "Payload Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
@@ -169,8 +181,11 @@ class _Responder:
 
 def _route_label(path: str) -> str:
     """Collapse a request path into a bounded metrics label."""
-    if path in ("/healthz", "/metrics", "/v1/sweeps", "/v1/results"):
+    if path in ("/healthz", "/metrics", "/v1/sweeps", "/v1/results",
+                "/v1/leases"):
         return path
+    if path.startswith("/v1/leases/"):
+        return "/v1/leases/{id}/settle"
     if path.startswith("/v1/jobs/"):
         rest = path[len("/v1/jobs/"):]
         if rest.endswith("/events"):
@@ -428,6 +443,23 @@ class SimulationService:
                 raise _HTTPError(405, "POST only")
             await self._handle_submit(body, writer)
             return
+        if path == "/v1/leases":
+            if method == "GET":
+                self._require_remote()
+                writer.write(_json_response(
+                    200, self.scheduler.leases.snapshot()
+                ))
+                return
+            if method != "POST":
+                raise _HTTPError(405, "GET or POST only")
+            self._handle_lease(body, writer)
+            return
+        if path.startswith("/v1/leases/") and path.endswith("/settle"):
+            if method != "POST":
+                raise _HTTPError(405, "POST only")
+            lease_id = path[len("/v1/leases/"): -len("/settle")].rstrip("/")
+            await self._handle_settle(lease_id, body, writer)
+            return
         if path == "/v1/results" and method == "GET":
             key = parse_qs(url.query).get("key", [""])[0]
             if not key:
@@ -495,6 +527,127 @@ class SimulationService:
             },
             extra=(("Location", f"/v1/jobs/{job.id}"),),
         ))
+
+    # ------------------------------------------------------------------
+    # remote mode: the worker-pull lease endpoints
+    def _require_remote(self) -> None:
+        if not self.scheduler.remote:
+            raise _HTTPError(
+                400,
+                "this service executes locally; start it with "
+                "`repro serve --remote` to serve workers",
+            )
+
+    def _handle_lease(self, body: bytes, writer) -> None:
+        """POST /v1/leases: grant a worker a batch of pending runs.
+
+        Grants continue while draining (accepted jobs must finish);
+        the response's ``draining`` flag tells workers they may exit
+        once ``runs`` comes back empty.
+        """
+        self._require_remote()
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HTTPError(400, "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "lease request must be a JSON object")
+        worker = str(payload.get("worker") or "anonymous")[:120]
+        try:
+            max_runs = int(payload.get("max_runs", DEFAULT_LEASE_RUNS))
+            ttl = float(payload.get("ttl", DEFAULT_LEASE_TTL_S))
+        except (TypeError, ValueError):
+            raise _HTTPError(400, "max_runs/ttl must be numbers")
+        grant = self.scheduler.grant_lease(worker, max_runs=max_runs, ttl=ttl)
+        if grant is None:
+            writer.write(_json_response(200, {
+                "lease": None,
+                "runs": [],
+                "draining": self.scheduler.draining,
+            }))
+            return
+        writer.write(_json_response(200, grant))
+
+    async def _handle_settle(
+        self, lease_id: str, body: bytes, writer
+    ) -> None:
+        """POST /v1/leases/{id}/settle: accept worker outcomes.
+
+        Settlement is idempotent and tolerant of expiry races: keys
+        re-queued by the reaper still settle (the result is real),
+        keys already settled elsewhere count as duplicates, and a
+        fully-unknown lease with nothing claimable is 410 Gone so the
+        worker drops the rest of its batch and re-leases.
+        """
+        self._require_remote()
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HTTPError(400, "request body is not valid JSON")
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("runs"), list
+        ):
+            raise _HTTPError(400, 'settle body must be {"runs": [...]}')
+        runs = payload["runs"]
+        for run in runs:
+            if not isinstance(run, dict) or not isinstance(
+                run.get("key"), str
+            ):
+                raise _HTTPError(400, "every run needs a string key")
+            has_result = isinstance(run.get("result"), dict)
+            has_error = isinstance(run.get("error"), str) and run["error"]
+            if has_result == bool(has_error):
+                raise _HTTPError(
+                    400, "every run needs a result object XOR an error"
+                )
+
+        def validate() -> None:
+            # malformed result payloads must be rejected before they
+            # can settle a job or reach the store
+            for run in runs:
+                if run.get("result") is not None:
+                    result_from_dict(run["result"])
+
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, validate)
+        except Exception as error:
+            raise _HTTPError(400, f"malformed result payload: {error}")
+
+        claim = self.scheduler.claim_settlements(lease_id, runs)
+        accepted = claim["accepted"]
+        if not claim["lease_known"] and not accepted:
+            raise _HTTPError(
+                410,
+                f"lease {lease_id} expired and its runs were re-leased; "
+                "drop the batch and lease again",
+            )
+        store = self.scheduler.engine.store
+        if store is not None and accepted:
+
+            def persist() -> None:
+                # same lock as engine entry: the store's append handles
+                # are single-threaded by design
+                with self.scheduler._engine_lock:
+                    with store.batched(flush_every=len(accepted)):
+                        for key, spec, _job, result_payload, error in accepted:
+                            if error is not None:
+                                continue
+                            store.put_record(key, {
+                                "schema": store.schema_version,
+                                "key": key,
+                                "spec": spec_to_dict(spec),
+                                "result": result_payload,
+                            })
+
+            await loop.run_in_executor(None, persist)
+        self.scheduler.finish_settlements(accepted)
+        writer.write(_json_response(200, {
+            "settled": len(accepted),
+            "duplicates": claim["duplicates"],
+            "remaining": claim["remaining"],
+            "draining": self.scheduler.draining,
+        }))
 
     async def _handle_events(
         self, job_id: str, writer: asyncio.StreamWriter
@@ -587,6 +740,8 @@ def build_service(
     max_body: Optional[int] = None,
     allow_traces: Optional[bool] = None,
     access_log: Optional[str] = None,
+    remote: Optional[bool] = None,
+    store_backend: Optional[str] = None,
 ) -> SimulationService:
     """Assemble engine -> scheduler -> service with env-var defaults.
 
@@ -595,17 +750,20 @@ def build_service(
     ``REPRO_SERVICE_ALLOW_TRACES=1`` opts in to ``trace:<path>``
     workloads (server-side file access -- off by default);
     ``REPRO_SERVICE_ACCESS_LOG=<path>`` turns on the structured
-    per-request JSONL access log.  The store
-    resolves like the CLI's (explicit path, else ``REPRO_STORE``, else
-    the user cache directory; ``no_store`` disables persistence -- the
-    scheduler's in-memory record mirror still dedupes within the
-    process lifetime).
+    per-request JSONL access log; ``REPRO_SERVICE_REMOTE=1`` (or
+    ``remote=True``) switches to worker-pull dispatch -- the lease
+    endpoints open and `repro worker` processes execute the runs.  The
+    store resolves like the CLI's (explicit path, else ``REPRO_STORE``,
+    else the user cache directory; ``no_store`` disables persistence --
+    the scheduler's in-memory record mirror still dedupes within the
+    process lifetime), and ``store_backend`` picks its on-disk layout
+    for new stores (else ``REPRO_STORE_BACKEND``, else single-file).
     """
     store = None
     if not no_store:
         path = store_path if store_path is not None else default_store_path()
         if path:
-            store = ResultStore(path)
+            store = ResultStore(path, backend=store_backend)
     engine = ExperimentEngine(store=store, workers=workers)
     scheduler = JobScheduler(
         engine,
@@ -616,6 +774,11 @@ def build_service(
         max_active=(
             max_active if max_active is not None
             else env_int("REPRO_SERVICE_ACTIVE", DEFAULT_MAX_ACTIVE)
+        ),
+        remote=(
+            remote if remote is not None
+            else os.environ.get("REPRO_SERVICE_REMOTE", "").strip()
+            in ("1", "true", "yes")
         ),
     )
     return SimulationService(

@@ -1,0 +1,155 @@
+"""``repro worker``: the pull-based execution half of remote mode.
+
+A worker is deliberately dumb: it owns no queue, no store and no job
+state.  It loops
+
+    lease -> execute -> settle
+
+against a ``repro serve --remote`` scheduler, executing each leased
+:class:`~repro.engine.spec.RunSpec` through the exact
+:func:`~repro.engine.spec.execute_spec` path a local sweep uses (same
+packed-arena cache, same backend resolution, bit-identical results).
+Everything that can go wrong is the scheduler's problem by design:
+
+* a worker that dies mid-lease simply stops settling -- the lease TTL
+  expires and the scheduler re-queues its runs;
+* a run that raises settles as an error (traceback attached) instead
+  of killing the batch;
+* a settle rejected with **410 Gone** means the lease expired while
+  the worker was computing: the rest of the batch is dropped (those
+  keys are someone else's now) and the loop leases afresh;
+* transport errors back off and retry -- a restarting scheduler picks
+  the worker back up automatically.
+
+The worker verifies each leased spec round-trips to the advertised run
+key before executing, so a corrupted payload is refused (settled as an
+error) rather than silently poisoning the store with a mis-keyed
+result.  When the scheduler reports ``draining`` and has no runs left,
+the worker exits cleanly -- ``repro worker`` fleets drain with their
+scheduler -- and the CLI entry point additionally exits 0 on SIGTERM
+(an in-flight lease is covered by its TTL), so fleet managers can stop
+workers the ordinary way.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import traceback
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.spec import RunKey, execute_spec, spec_from_dict
+from repro.engine.serialize import result_to_dict
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = ["default_worker_name", "run_worker"]
+
+#: test/fault-injection hook: sleep this many seconds between leasing a
+#: batch and executing it (lets a harness SIGKILL the worker mid-lease
+#: deterministically, or force the lease past its TTL)
+HOLD_ENV = "REPRO_WORKER_HOLD_S"
+
+
+def default_worker_name() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _execute_one(key: str, spec_payload: Dict) -> Dict:
+    """Execute one leased run; returns its settle entry (never raises:
+    failures settle as errors so the scheduler's ledger always closes).
+    """
+    try:
+        spec = spec_from_dict(spec_payload)
+        digest = RunKey.for_spec(spec).digest
+        if digest != key:
+            raise ValueError(
+                f"leased spec hashes to {digest[:12]}, not the "
+                f"advertised key {key[:12]} -- refusing to execute"
+            )
+        result = execute_spec(spec)
+    except Exception:
+        return {"key": key, "error": traceback.format_exc(limit=20)}
+    return {"key": key, "result": result_to_dict(result)}
+
+
+def run_worker(
+    url: str,
+    name: Optional[str] = None,
+    max_runs: Optional[int] = None,
+    ttl: Optional[float] = None,
+    poll_s: float = 0.5,
+    once: bool = False,
+    hold_s: Optional[float] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Lease/execute/settle against *url* until the scheduler drains.
+
+    Args:
+        url: the ``repro serve --remote`` base URL.
+        name: worker identity in lease grants and ``GET /v1/leases``
+            (default ``host:pid``).
+        max_runs: batch-size cap per lease (server clamps).
+        ttl: requested lease TTL in seconds (server clamps).  Must
+            outlast the slowest single batch the worker will take
+            between settles, or the scheduler will re-issue its runs.
+        poll_s: idle sleep when the queue is empty.
+        once: exit after the first settled (or empty) lease -- used by
+            tests and one-shot deployments.
+        hold_s: fault-injection hook -- sleep this long between lease
+            and execute (also ``REPRO_WORKER_HOLD_S``).
+        log: line sink for progress (``None`` silences).
+
+    Returns:
+        Process exit code: 0 after a clean drain/`once` exit.
+    """
+    client = ServiceClient(url)
+    worker = name or default_worker_name()
+    if hold_s is None:
+        raw = os.environ.get(HOLD_ENV, "").strip()
+        hold_s = float(raw) if raw else 0.0
+    say = log or (lambda line: None)
+    say(f"worker {worker} pulling from {url}")
+    while True:
+        try:
+            grant = client.lease(worker=worker, max_runs=max_runs, ttl=ttl)
+        except ServiceError as error:
+            if error.status == 0:
+                # scheduler unreachable (restarting?): back off, retry
+                time.sleep(max(poll_s, 0.1))
+                continue
+            raise
+        runs: List[Dict] = grant.get("runs") or []
+        if not runs:
+            if grant.get("draining") or once:
+                say(f"worker {worker}: queue drained, exiting")
+                return 0
+            time.sleep(max(poll_s, 0.05))
+            continue
+        if hold_s > 0:
+            time.sleep(hold_s)
+        lease_id = grant["lease"]
+        settled = 0
+        try:
+            # settle one by one: each settle refreshes the lease TTL, so
+            # a long batch stays alive as long as runs keep finishing
+            for run in runs:
+                outcome = _execute_one(run["key"], run["spec"])
+                client.settle(lease_id, [outcome])
+                settled += 1
+        except ServiceError as error:
+            if error.status == 410:
+                # lease expired mid-batch: the unfinished keys belong to
+                # another worker now -- drop them and lease afresh
+                say(f"worker {worker}: lease {lease_id} expired, re-leasing")
+            elif error.status == 0:
+                say(f"worker {worker}: scheduler unreachable mid-batch")
+                time.sleep(max(poll_s, 0.1))
+            else:
+                raise
+        say(
+            f"worker {worker}: settled {settled}/{len(runs)} "
+            f"runs of lease {lease_id}"
+        )
+        if once:
+            return 0

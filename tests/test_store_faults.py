@@ -1,0 +1,166 @@
+"""Crash and corruption recovery contract for both store backends.
+
+The fabric's durability claim is that a result store survives the ugly
+ways a worker fleet dies: a writer SIGKILLed mid-append, a torn final
+record, a corrupted line in the middle of a segment.  Recovery must
+lose at most the torn record, and ``compact()`` must refuse -- not
+corrupt -- while a live writer holds a segment lock.  Every test runs
+against both layouts; the recovery behaviour is identical by
+construction (both compose :class:`~repro.engine.store_backends.JsonlSegment`)
+and these tests pin that equivalence under faults.
+"""
+
+import json
+
+import pytest
+
+from faultutil import (
+    assert_crash_consistent,
+    corrupt_line,
+    fake_result,
+    file_containing,
+    fill_store,
+    kill_writer_after_bytes,
+    parseable_tail_state,
+    smoke_spec,
+    spawn_store_writer,
+    truncate_tail,
+)
+from repro.engine import ResultStore
+
+BACKENDS = ("jsonl", "sharded")
+
+
+def make_store(tmp_path, backend: str, **kwargs) -> ResultStore:
+    path = tmp_path / ("store" if backend == "sharded" else "store.jsonl")
+    return ResultStore(path, backend=backend, **kwargs)
+
+
+def _line_index_of(path, digest: str) -> int:
+    for index, line in enumerate(path.read_text().splitlines()):
+        if digest in line:
+            return index
+    raise AssertionError(f"{path} does not hold {digest[:12]}")
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sigkill_mid_append_recovers(tmp_path, backend):
+    """A writer killed mid-stream loses at most its torn final record;
+    the survivors load, and compact() heals the torn tail away."""
+    observer = make_store(tmp_path, backend)
+    writer = spawn_store_writer(observer.path, backend)
+    try:
+        kill_writer_after_bytes(writer, observer, min_bytes=200_000)
+    finally:
+        if writer.poll() is None:
+            writer.kill()
+            writer.wait(10)
+
+    recovered = make_store(tmp_path, backend)
+    live = assert_crash_consistent(recovered)
+    assert live > 0
+    # the index serves reads for everything that survived
+    some_key = next(iter(recovered.keys()))
+    assert recovered.record(some_key)["key"] == some_key
+
+    # compact() heals: same live count, and no torn tail remains
+    assert recovered.compact() == live
+    for path in recovered.files():
+        complete, tail = parseable_tail_state(path)
+        assert tail == b""
+        for line in complete:
+            json.loads(line)
+    assert len(make_store(tmp_path, backend)) == live
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_truncated_tail_loses_only_the_torn_record(tmp_path, backend):
+    store = make_store(tmp_path, backend)
+    keys = fill_store(store, 6)
+
+    # the most recent put is the last line of its segment: tearing a
+    # few bytes off that file tears exactly that record
+    truncate_tail(file_containing(store, keys[-1]), nbytes=10)
+
+    recovered = make_store(tmp_path, backend)
+    assert recovered.backend_name == backend  # layout detected from disk
+    assert keys[-1] not in recovered
+    assert len(recovered) == 5
+    for seed, key in enumerate(keys[:-1]):
+        result = recovered.get(key)
+        assert result is not None and result.cycles == 100 + seed
+    assert_crash_consistent(recovered)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_corrupt_line_skipped_and_compacted_away(tmp_path, backend):
+    store = make_store(tmp_path, backend)
+    keys = fill_store(store, 6)
+
+    victim_file = file_containing(store, keys[0])
+    corrupt_line(victim_file, _line_index_of(victim_file, keys[0]))
+
+    recovered = make_store(tmp_path, backend)
+    assert keys[0] not in recovered  # corrupt record invisible, not fatal
+    assert len(recovered) == 5
+    assert all(key in recovered for key in keys[1:])
+
+    # compact() drops the garbage line physically
+    assert recovered.compact() == 5
+    for path in recovered.files():
+        for line in path.read_text().splitlines():
+            json.loads(line)
+    assert len(make_store(tmp_path, backend)) == 5
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compact_refuses_inside_own_batch(tmp_path, backend):
+    store = make_store(tmp_path, backend)
+    fill_store(store, 2)
+    with store.batched():
+        with pytest.raises(RuntimeError, match="batched"):
+            store.compact()
+    assert store.compact() == 2  # fine once the batch closed
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compact_refuses_while_writer_holds_lock(tmp_path, backend):
+    """A live writer's segment lock makes compaction refuse rather than
+    orphan the writer's inode (which would silently eat its appends)."""
+    store = make_store(tmp_path, backend)
+    keys = fill_store(store, 6)
+    # duplicate every record so a successful compact is observable as
+    # the file shrinking to one line per key
+    for seed in range(6):
+        spec = smoke_spec(seed=seed)
+        store.put(spec, fake_result(spec))
+
+    writer = make_store(tmp_path, backend)
+    locked_file = file_containing(store, keys[0])
+    locked_before = locked_file.read_bytes()
+    with writer.batched():
+        # touch only keys[0]'s segment, so only that lock is held
+        spec = smoke_spec(seed=0)
+        writer.put(spec, fake_result(spec))
+        writer.flush()
+        locked_held = locked_file.read_bytes()
+
+        other = make_store(tmp_path, backend)
+        with pytest.raises(RuntimeError) as refusal:
+            other.compact()
+        if backend == "sharded":
+            assert "shard" in str(refusal.value)
+        # the locked segment was left exactly as the writer had it
+        assert locked_file.read_bytes() == locked_held
+    assert len(locked_file.read_bytes()) > len(locked_before)
+
+    # lock released: compaction succeeds and dedups every segment
+    assert make_store(tmp_path, backend).compact() == 6
+    reloaded = make_store(tmp_path, backend)
+    assert len(reloaded) == 6
+    total_lines = sum(
+        len(path.read_text().splitlines()) for path in reloaded.files()
+    )
+    assert total_lines == 6
