@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Twelve commands cover the workflows a downstream user reaches for
+Thirteen commands cover the workflows a downstream user reaches for
 first:
 
 * ``list``    -- show the available L1D configurations and every
@@ -35,6 +35,9 @@ first:
 * ``store``   -- operator tooling for the result store: ``info``,
   ``compact``, ``path``, ``migrate`` (convert between the single-file
   and sharded layouts).
+* ``journal`` -- inspect a coordinator job journal (``repro serve
+  --journal``): events by type, skipped lines, and per-job recovery
+  state -- what a restart on this journal would do.
 * ``metrics`` -- scrape a running service's ``GET /metrics`` exposition
   (optionally grep-filtered) without needing curl.
 * ``spans``   -- summarise a phase-span log (``REPRO_SPANS``) or export
@@ -261,6 +264,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "the lease protocol instead of simulating in-process "
              "(also REPRO_SERVICE_REMOTE=1; see docs/distributed.md)",
     )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead job journal: accepted jobs survive "
+             "coordinator restarts, replayed against the store on "
+             "startup (also REPRO_SERVICE_JOURNAL; see "
+             "docs/distributed.md)",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -374,6 +384,18 @@ def _build_parser() -> argparse.ArgumentParser:
     migrate.add_argument(
         "--shards", type=int, default=None,
         help="segment count for a sharded destination (default 16)",
+    )
+
+    journal_cmd = sub.add_parser(
+        "journal",
+        help="inspect a coordinator job journal (repro serve --journal)",
+    )
+    journal_cmd.add_argument(
+        "path", help="journal file written under `repro serve --journal`",
+    )
+    journal_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the replay summary as JSON instead of tables",
     )
 
     metrics = sub.add_parser(
@@ -820,6 +842,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers, max_queue=args.queue, max_active=args.active,
         remote=True if args.remote else None,
         store_backend=args.store_backend,
+        journal=args.journal,
     )
     store = service.scheduler.engine.store
 
@@ -828,13 +851,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "remote (workers pull leases)" if svc.scheduler.remote
             else f"workers {svc.scheduler.engine.workers}"
         )
+        journal = svc.scheduler.journal
         print(
             f"repro service on http://{svc.host}:{svc.port} "
             f"({mode}, "
             f"queue {svc.scheduler.max_queue}, "
-            f"store {store.path if store is not None else 'disabled'})",
+            f"store {store.path if store is not None else 'disabled'}"
+            + (f", journal {journal.path}" if journal is not None else "")
+            + ")",
             flush=True,
         )
+        recovered = svc.scheduler.recovered
+        if recovered and recovered["events"]:
+            print(
+                f"journal replay: {recovered['events']} events -> "
+                f"{recovered['recovered_done']} finished jobs restored, "
+                f"{recovered['requeued_jobs']} re-queued "
+                f"({recovered['requeued_runs']} runs), "
+                f"{recovered['unrecoverable_jobs']} unrecoverable",
+                flush=True,
+            )
 
     serve(service, announce=announce)
     print("drained; bye")
@@ -1012,6 +1048,75 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.service.journal import load_journal
+
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        print(f"error: no journal at {path}", file=sys.stderr)
+        return 2
+    replay = load_journal(path)
+    completed = replay.completed()
+    incomplete = replay.incomplete()
+    if args.json:
+        print(json.dumps({
+            "path": str(path),
+            "events": replay.events,
+            "by_event": replay.by_event,
+            "skipped": replay.skipped,
+            "jobs": {
+                "total": len(replay.jobs),
+                "done": sum(
+                    1 for e in completed if e["state"] == "done"
+                ),
+                "failed": sum(
+                    1 for e in completed if e["state"] == "failed"
+                ),
+                "incomplete": len(incomplete),
+            },
+            "incomplete": [
+                {
+                    "job": entry["job"],
+                    "runs": len(entry["specs"]),
+                    "settled": len(entry["settled"]),
+                }
+                for entry in incomplete
+            ],
+        }, sort_keys=True))
+        return 0
+    rows = [
+        [kind, str(count)]
+        for kind, count in sorted(replay.by_event.items())
+    ]
+    print(format_table(
+        ["event", "count"], rows,
+        title=(
+            f"{path}: {replay.events} events "
+            f"(skipped: {replay.skipped['corrupt']} corrupt, "
+            f"{replay.skipped['stale']} stale)"
+        ),
+    ))
+    if replay.jobs:
+        job_rows = [
+            [
+                entry["job"][:16], entry["state"],
+                str(len(entry["specs"])), str(len(entry["settled"])),
+            ]
+            for entry in replay.jobs.values()
+        ]
+        print()
+        print(format_table(
+            ["job", "state", "runs", "settled"], job_rows,
+            title=(
+                f"{len(replay.jobs)} jobs -- a restart on this journal "
+                f"re-queues {len(incomplete)}"
+            ),
+        ))
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import os
 
@@ -1112,6 +1217,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_worker(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "journal":
+            return _cmd_journal(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
         if args.command == "spans":

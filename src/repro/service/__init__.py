@@ -32,14 +32,25 @@ standard library (``asyncio`` server, ``urllib`` client):
   settle outcomes back, with lease expiry re-queueing a crashed
   worker's runs.  Single-flight holds fleet-wide: the run-key lease is
   the coalescing layer, so two workers can never simulate one key.
+* :mod:`repro.service.journal` + :mod:`repro.service.retry` --
+  coordinator crash-safety.  ``repro serve --journal PATH``
+  write-ahead-journals every job lifecycle event to an append-only
+  JSONL log and replays it on startup (finished jobs into history,
+  unfinished jobs re-queued, settled keys served warm from the store),
+  while the shared :class:`~repro.service.retry.RetryPolicy` gives
+  every client and worker capped, jittered, idempotent-only transport
+  retries so fleets bridge a restart instead of dying on it.
 
 See ``docs/service-api.md`` for the wire API and deployment knobs, and
-``docs/distributed.md`` for the lease lifecycle and failure model.
+``docs/distributed.md`` for the lease lifecycle and failure model
+(including the coordinator failure model).
 """
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import InvalidRequest, Job, SweepRequest, job_id_for
+from repro.service.journal import JobJournal, load_journal, read_journal
 from repro.service.leases import Lease, LeaseManager
+from repro.service.retry import RetryPolicy
 from repro.service.scheduler import Draining, JobScheduler, QueueFull
 from repro.service.server import BackgroundService, SimulationService
 from repro.service.worker import run_worker
@@ -49,14 +60,18 @@ __all__ = [
     "Draining",
     "InvalidRequest",
     "Job",
+    "JobJournal",
     "JobScheduler",
     "Lease",
     "LeaseManager",
     "QueueFull",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "SimulationService",
     "SweepRequest",
     "job_id_for",
+    "load_journal",
+    "read_journal",
     "run_worker",
 ]

@@ -7,9 +7,21 @@
 * **poll** -- :meth:`ServiceClient.job` fetches a snapshot,
   :meth:`ServiceClient.wait` polls until the job settles;
 * **stream** -- :meth:`ServiceClient.events` yields parsed Server-Sent
-  Events (``(name, payload)`` pairs) as the job progresses, and
+  Events (``(name, payload)`` pairs) as the job progresses,
+  :meth:`ServiceClient.events_follow` adds reconnect-and-resnapshot
+  across coordinator restarts, and
   :meth:`ServiceClient.run_to_completion` combines submit + stream into
   the one-liner ``repro submit`` uses.
+
+Transport failures are survivable by design: every call carries an
+explicit per-request timeout (a wedged coordinator cannot hang a
+client forever), and **idempotent** requests retry under the shared
+:class:`~repro.service.retry.RetryPolicy` -- all GETs, sweep
+submission (content-addressed job ids make a replayed submit coalesce
+instead of duplicating) and settles (the scheduler discards duplicate
+keys).  Leasing is deliberately *not* retried here: a lost grant
+response strands its keys until the TTL reaper frees them, so the
+worker loop owns that cadence instead.
 
 No third-party dependencies: everything rides on
 :mod:`urllib.request`, so any environment that can import ``repro``
@@ -24,6 +36,8 @@ import urllib.error
 import urllib.parse
 import urllib.request
 from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.service.retry import RetryPolicy
 
 __all__ = [
     "ServiceClient", "ServiceError",
@@ -51,11 +65,23 @@ class ServiceClient:
         base_url: e.g. ``http://127.0.0.1:8177`` (trailing slash ok).
         timeout: per-request socket timeout in seconds (streaming
             requests use it as a read timeout between events).
+        retry: transport-retry policy for idempotent requests
+            (default: :class:`RetryPolicy` with *timeout* as its
+            per-request timeout).  ``RetryPolicy(attempts=1)``
+            disables retries.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy(
+            timeout_s=timeout
+        )
+        self.timeout = self.retry.timeout_s
 
     # ------------------------------------------------------------------
     def _request(
@@ -64,34 +90,51 @@ class ServiceClient:
         path: str,
         payload: Optional[dict] = None,
         stream: bool = False,
+        idempotent: bool = True,
     ):
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers, method=method
+        # streams retry at the events_follow layer (reconnecting
+        # mid-iteration needs a fresh snapshot, not a replayed request)
+        attempts = (
+            max(1, self.retry.attempts) if idempotent and not stream else 1
         )
-        try:
-            response = urllib.request.urlopen(request, timeout=self.timeout)
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+        for attempt in range(1, attempts + 1):
+            request = urllib.request.Request(
+                self.base_url + path, data=body, headers=headers,
+                method=method,
+            )
             try:
-                decoded = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                decoded = {}
-            message = decoded.get("error") or raw.decode("utf-8", "replace")
-            raise ServiceError(error.code, message, decoded) from error
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                0, f"cannot reach {self.base_url}: {error.reason}"
-            ) from error
-        if stream:
-            return response
-        with response:
-            data = response.read().decode("utf-8")
-        return json.loads(data) if data else {}
+                response = urllib.request.urlopen(
+                    request, timeout=self.timeout
+                )
+            except urllib.error.HTTPError as error:
+                # the service answered: no retry, surface its verdict
+                raw = error.read()
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = {}
+                message = (
+                    decoded.get("error") or raw.decode("utf-8", "replace")
+                )
+                raise ServiceError(error.code, message, decoded) from error
+            except (urllib.error.URLError, OSError) as error:
+                reason = getattr(error, "reason", error)
+                if attempt < attempts:
+                    time.sleep(self.retry.backoff_s(attempt, token=path))
+                    continue
+                raise ServiceError(
+                    0, f"cannot reach {self.base_url}: {reason}"
+                ) from error
+            if stream:
+                return response
+            with response:
+                data = response.read().decode("utf-8")
+            return json.loads(data) if data else {}
 
     # ------------------------------------------------------------------
     def submit(
@@ -162,7 +205,12 @@ class ServiceClient:
             payload["max_runs"] = max_runs
         if ttl is not None:
             payload["ttl"] = ttl
-        return self._request("POST", "/v1/leases", payload)
+        # not idempotent: a grant whose response is lost strands its
+        # keys until the TTL reaper frees them, so the worker loop owns
+        # the retry cadence (with its own jittered backoff)
+        return self._request(
+            "POST", "/v1/leases", payload, idempotent=False
+        )
 
     def settle(self, lease_id: str, runs) -> Dict:
         """POST /v1/leases/{id}/settle: report leased outcomes.
@@ -239,6 +287,61 @@ class ServiceClient:
                         return
                     name, data_lines = "message", []
 
+    def events_follow(
+        self, job_id: str, deadline: Optional[float] = None
+    ) -> Iterator[Tuple[str, Dict]]:
+        """:meth:`events` with reconnect-and-resnapshot.
+
+        When the stream drops before ``done`` (coordinator restart,
+        network blip, idle read timeout), the follower backs off under
+        the retry policy and reconnects; the server always opens with a
+        fresh ``snapshot`` event, so consumers see the post-restart
+        truth instead of a gap.  The generator returns after the
+        *first* ``done`` -- a terminal event is delivered exactly once
+        no matter how many reconnects happened.
+
+        Args:
+            deadline: ``time.monotonic()`` value to stop retrying at
+                (the per-connection read timeout still applies).
+
+        Raises:
+            ServiceError: a non-transport error (e.g. 404 from a
+                restarted coordinator that no longer knows the job --
+                resubmit, then follow again), or transport failure
+                after the policy's attempts are exhausted.
+        """
+        failures = 0
+        while True:
+            try:
+                for name, payload in self.events(job_id):
+                    failures = 0
+                    yield name, payload
+                    if name == "done":
+                        return
+            except ServiceError as error:
+                if error.status != 0:
+                    raise  # HTTP verdict: reconnecting won't change it
+                # status 0 = could not connect: fall through to backoff
+            except OSError:
+                pass  # transport drop mid-stream: fall through to backoff
+            # the stream ended without a terminal event (server closed
+            # the socket mid-job) -- same recovery as a transport drop
+            failures += 1
+            if failures > max(1, self.retry.attempts):
+                raise ServiceError(
+                    0,
+                    f"event stream for job {job_id} dropped "
+                    f"{failures} times; giving up",
+                )
+            delay = self.retry.backoff_s(failures, token=job_id)
+            if deadline is not None and (
+                time.monotonic() + delay >= deadline
+            ):
+                raise ServiceError(
+                    0, f"deadline reached re-following job {job_id}"
+                )
+            time.sleep(delay)
+
     # ------------------------------------------------------------------
     def run_to_completion(
         self,
@@ -257,27 +360,53 @@ class ServiceClient:
         job snapshot.
 
         Progress arrives through *on_event* (SSE ``snapshot``/``run``/
-        ``state`` events).  Falls back to polling if the event stream
-        drops before the job settles.
+        ``state`` events).  The follower survives coordinator restarts:
+        the stream reconnects and re-snapshots
+        (:meth:`events_follow`), and a 404 mid-follow -- the restarted
+        coordinator has no journal, or pruned the job -- triggers an
+        idempotent resubmission (content-addressed ids land it back on
+        the same job).  Falls back to polling if streaming stays
+        broken before the job settles.
         """
-        accepted = self.submit(
-            configs, workloads, gpu_profile=gpu_profile, scale=scale,
-            seed=seed, num_sms=num_sms, timeline=timeline, backend=backend,
-        )
-        job_id = accepted["job"]
+
+        def resubmit() -> Dict:
+            return self.submit(
+                configs, workloads, gpu_profile=gpu_profile, scale=scale,
+                seed=seed, num_sms=num_sms, timeline=timeline,
+                backend=backend,
+            )
+
+        job_id = resubmit()["job"]
         deadline = time.monotonic() + timeout
-        try:
-            for name, payload in self.events(job_id):
-                if on_event is not None:
-                    on_event(name, payload)
-                if name == "done":
-                    return payload
-                if time.monotonic() >= deadline:
-                    break  # enforce the deadline even mid-stream; the
-                    # wait() below raises TimeoutError unless the job
-                    # settled in the meantime
-        except (ServiceError, OSError):
-            pass  # stream dropped; the poll below is authoritative
+        resubmits = 0
+        while time.monotonic() < deadline:
+            try:
+                for name, payload in self.events_follow(
+                    job_id, deadline=deadline
+                ):
+                    if on_event is not None:
+                        on_event(name, payload)
+                    if name == "done":
+                        return payload
+                    if time.monotonic() >= deadline:
+                        break  # enforce the deadline even mid-stream;
+                        # the wait() below raises TimeoutError unless
+                        # the job settled in the meantime
+                break  # deadline hit mid-stream: poll below
+            except ServiceError as error:
+                if (
+                    error.status == 404
+                    and resubmits < max(1, self.retry.attempts)
+                ):
+                    resubmits += 1
+                    try:
+                        resubmit()
+                    except ServiceError:
+                        break  # can't resubmit either: poll below
+                    continue
+                break  # streaming is broken; the poll is authoritative
+            except OSError:
+                break
         return self.wait(
             job_id, timeout=max(0.0, deadline - time.monotonic())
         )

@@ -245,6 +245,38 @@ class SweepRequest:
             "backend": self.backend,
         }
 
+    @classmethod
+    def restore(cls, payload: Dict) -> "SweepRequest":
+        """Rebuild a request from its :meth:`as_dict` form.
+
+        Trusted path for journal replay: the request was fully
+        validated when it was first accepted, so this only reshapes --
+        re-validation would wrongly reject a journaled job whose
+        ``trace:`` file has since moved (its canonical specs are
+        journaled alongside and carry the hashed trace content).
+
+        Raises:
+            ValueError: structurally malformed payload (wrong types).
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request payload must be an object")
+        try:
+            return cls(
+                configs=tuple(str(c) for c in payload["configs"]),
+                workloads=tuple(str(w) for w in payload["workloads"]),
+                gpu_profile=str(payload.get("gpu_profile", "fermi")),
+                scale=str(payload.get("scale", "test")),
+                seed=int(payload.get("seed", 0)),
+                num_sms=(
+                    None if payload.get("num_sms") is None
+                    else int(payload["num_sms"])
+                ),
+                timeline=int(payload.get("timeline", 0)),
+                backend=str(payload.get("backend") or ""),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed request payload: {error}") from error
+
 
 def job_id_for(keys: Iterable[str]) -> str:
     """Content-addressed job id: SHA-256 over the sorted run-key digests.

@@ -1,0 +1,71 @@
+"""Shared retry/backoff policy for everything that talks to a service.
+
+A coordinator restart (crash, deploy, host reboot) looks identical to
+every client: the TCP connection drops or refuses.  The recovery story
+on the server side (:mod:`repro.service.journal`) only delivers
+restart-transparency if clients *bridge* the gap instead of dying --
+and if a whole fleet of workers doesn't stampede the freshly-restarted
+listener in lockstep.  :class:`RetryPolicy` is that bridge:
+
+* **capped exponential backoff** -- the delay ceiling doubles per
+  attempt from ``base_s`` up to ``cap_s``, so a brief restart is
+  bridged in fractions of a second while a long outage costs bounded,
+  cheap polls;
+* **deterministic jitter** -- the actual delay is drawn from the upper
+  half of the ceiling by hashing ``(token, attempt)``, so two workers
+  never share a schedule (no thundering herd) yet every run of the
+  same client is reproducible -- no RNG state, same spirit as the
+  content-addressed run keys;
+* **idempotent-only retries** -- callers declare which verbs are safe.
+  Submitting a sweep is idempotent by construction (content-addressed
+  job ids: a replayed submit coalesces or re-creates the same id) and
+  settles are duplicate-tolerant, so both retry; leasing is *not*
+  retried at the transport layer (a lost grant response strands keys
+  until the TTL reaper frees them -- the worker loop owns that
+  cadence).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["DEFAULT_RETRY_POLICY", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client paces itself against an unreachable service.
+
+    Args:
+        attempts: total tries per idempotent request (1 = no retry).
+        base_s: backoff ceiling before the first retry.
+        cap_s: upper bound the exponential ceiling saturates at.
+        timeout_s: per-request socket timeout -- every HTTP call gets
+            one explicitly, so a wedged coordinator can stall a call
+            for at most this long.
+    """
+
+    attempts: int = 5
+    base_s: float = 0.25
+    cap_s: float = 5.0
+    timeout_s: float = 30.0
+
+    def backoff_s(self, attempt: int, token: str = "") -> float:
+        """Delay before retry *attempt* (1-based).
+
+        Capped exponential with deterministic jitter: the ceiling is
+        ``min(cap_s, base_s * 2**(attempt-1))`` and the delay lands in
+        its upper half at a point fixed by ``SHA-256(token:attempt)``.
+        Distinct tokens (worker names, request paths) decorrelate;
+        identical calls reproduce exactly.
+        """
+        if attempt <= 0:
+            return 0.0
+        ceiling = min(self.cap_s, self.base_s * (2.0 ** (attempt - 1)))
+        digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return ceiling * (0.5 + 0.5 * fraction)
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -36,12 +36,20 @@ same per-key futures, counters and SSE events as a local engine
 outcome.  Coalescing layers 1--3 are unchanged (the run-key lease *is*
 layer 2, now fleet-wide), and a reaper task on the event loop expires
 dead workers' leases back into the queue so no job hangs on a crash.
+
+With a :class:`~repro.service.journal.JobJournal` attached, every
+lifecycle transition is journaled -- acceptance (write-ahead: before
+the 202), settles, terminal states, lease grants/expiries -- and
+:meth:`JobScheduler.recover` replays the log at startup so a restarted
+coordinator serves finished jobs from history and re-queues unfinished
+ones instead of forgetting them.
 """
 
 from __future__ import annotations
 
 import asyncio
 import collections
+import sys
 import threading
 import time
 from typing import Deque, Dict, List, Optional, Tuple
@@ -50,6 +58,16 @@ from repro.engine.engine import ExperimentEngine, RunOutcome
 from repro.engine.serialize import result_to_dict
 from repro.engine.spec import RunSpec, spec_to_dict
 from repro.service.jobs import Job, SweepRequest
+from repro.service.journal import (
+    EV_JOB_ACCEPTED,
+    EV_JOB_DONE,
+    EV_LEASE_EXPIRED,
+    EV_LEASE_GRANTED,
+    EV_RUN_SETTLED,
+    JobJournal,
+    load_journal,
+    restore_job,
+)
 from repro.service.leases import (
     DEFAULT_LEASE_RUNS,
     DEFAULT_LEASE_TTL_S,
@@ -96,6 +114,8 @@ class JobScheduler:
             instead of the in-process engine.
         lease_reap_interval: reaper tick for expiring dead leases
             (remote mode only).
+        journal: write-ahead job journal for crash recovery (``None``
+            keeps behaviour byte-identical to an unjournaled service).
     """
 
     def __init__(
@@ -107,6 +127,7 @@ class JobScheduler:
         job_history: int = DEFAULT_JOB_HISTORY,
         remote: bool = False,
         lease_reap_interval: float = 0.25,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         self.engine = engine
         self.max_queue = max(0, max_queue)
@@ -155,6 +176,26 @@ class JobScheduler:
         self._register_gauges()
         if self.remote:
             self._register_lease_metrics()
+        self.journal = journal
+        #: recovery summary after :meth:`recover` (None until then)
+        self.recovered: Optional[Dict[str, int]] = None
+        if self.journal is not None:
+            self._register_journal_metrics()
+
+    def _register_journal_metrics(self) -> None:
+        """Journal accounting, registered only when a journal is
+        attached so an unjournaled service's exposition is unchanged."""
+        self._journal_appends = self.registry.counter(
+            "repro_journal_appends", "Journal events appended")
+        self._journal_replayed = self.registry.counter(
+            "repro_journal_replayed_events",
+            "Journal events replayed at startup")
+        self._journal_recovered = self.registry.counter(
+            "repro_journal_recovered_jobs",
+            "Jobs restored from the journal at startup")
+        self._journal_requeued = self.registry.counter(
+            "repro_journal_requeued_runs",
+            "Unsettled runs of recovered jobs re-queued at startup")
 
     def _register_lease_metrics(self) -> None:
         """Lease-fabric accounting, registered only in remote mode so a
@@ -227,6 +268,98 @@ class JobScheduler:
         )
         return self._counters["runs_store"].value / served if served else 0.0
 
+    # ------------------------------------------------------------------
+    # write-ahead journal: every lifecycle transition lands on disk
+    # before (submit) or as (settle/done/lease) it takes effect
+    def _journal_event(self, event: str, **fields) -> None:
+        if self.journal is None or self.journal.closed:
+            return
+        try:
+            self.journal.append(event, **fields)
+        except OSError as error:
+            # durability is gone, but the accepted work can still
+            # finish: warn loudly and stop journaling instead of
+            # killing the coordinator mid-fleet
+            self.journal.close()
+            print(
+                f"repro serve: journal write failed ({error}); "
+                "journaling disabled for this process",
+                file=sys.stderr, flush=True,
+            )
+            return
+        self._journal_appends.inc()
+
+    async def recover(self) -> Optional[Dict[str, int]]:
+        """Replay the journal against the store before serving.
+
+        Jobs whose journal says they finished are restored straight
+        into history (their snapshots and SSE ``done`` events serve
+        immediately); jobs accepted but unfinished are re-queued
+        through the normal execution path, where keys already settled
+        into the :class:`~repro.engine.store.ResultStore` serve warm
+        and only the true remainder simulates again (or re-enters the
+        lease queue in remote mode).  Journaled *error* settles re-run
+        rather than replaying -- a restart retries runs that died with
+        the previous incarnation.  Leases of the dead incarnation are
+        expired by construction: the :class:`~repro.service.leases.
+        LeaseManager` starts empty, so a surviving worker's late settle
+        hits the settle-pending/410 path exactly like a reaped lease.
+
+        Recovered jobs bypass the waiting-queue bound: they were
+        accepted once and must not bounce with 429 semantics.
+
+        Returns:
+            The recovery summary (also kept as :attr:`recovered`), or
+            ``None`` when no journal is attached.
+        """
+        if self.journal is None:
+            return None
+        self._loop = asyncio.get_running_loop()
+        replay = await self._loop.run_in_executor(
+            None, load_journal, self.journal.path
+        )
+        summary = {
+            "events": replay.events,
+            "skipped_corrupt": replay.skipped["corrupt"],
+            "skipped_stale": replay.skipped["stale"],
+            "recovered_jobs": 0,
+            "recovered_done": 0,
+            "requeued_jobs": 0,
+            "requeued_runs": 0,
+            "unrecoverable_jobs": 0,
+        }
+        self._journal_replayed.inc(replay.events)
+        for entry in replay.jobs.values():
+            try:
+                job = restore_job(entry)
+            except ValueError as error:
+                summary["unrecoverable_jobs"] += 1
+                print(
+                    f"repro serve: skipping unrecoverable journal entry "
+                    f"{str(entry.get('job'))[:12]}: {error}",
+                    file=sys.stderr, flush=True,
+                )
+                continue
+            self.jobs[job.id] = job
+            self._journal_recovered.inc()
+            summary["recovered_jobs"] += 1
+            if job.done:
+                summary["recovered_done"] += 1
+                continue
+            settled_ok = sum(
+                1 for source, error in entry["settled"].values()
+                if error is None and source != "error"
+            )
+            unsettled = max(0, len(job.specs) - settled_ok)
+            summary["requeued_jobs"] += 1
+            summary["requeued_runs"] += unsettled
+            self._journal_requeued.inc(unsettled)
+            self._waiting.append(job)
+        if self._waiting:
+            self._pump()
+        self.recovered = summary
+        return summary
+
     @property
     def metrics(self) -> Dict[str, int]:
         """The historical counter-dict view (read-only snapshot)."""
@@ -288,6 +421,18 @@ class JobScheduler:
             args={"job": job.id[:12], "total": len(job.specs)},
         )
         self.jobs[job.id] = job
+        # write-ahead: the acceptance (request + full canonical specs)
+        # is durable before the 202 leaves the process, so a crash at
+        # any later point can re-run the job from the journal alone
+        self._journal_event(
+            EV_JOB_ACCEPTED,
+            job=job.id,
+            request=request.as_dict(),
+            specs=[
+                {"key": key, "spec": spec_to_dict(spec)}
+                for key, spec in job.specs.items()
+            ],
+        )
         self._waiting.append(job)
         self._prune_history()
         self._pump()
@@ -388,6 +533,9 @@ class JobScheduler:
             )
 
         job.finish(failure)
+        self._journal_event(
+            EV_JOB_DONE, job=job.id, state=job.state, error=job.error
+        )
         record_span(
             "job", job_started_ns, time.time_ns(), cat="job",
             args={
@@ -451,6 +599,11 @@ class JobScheduler:
         if not reaped:
             return
         self._lease_expired.inc(len(reaped))
+        for lease in reaped:
+            self._journal_event(
+                EV_LEASE_EXPIRED, lease=lease.lease_id, worker=lease.worker,
+                keys=list(lease.runs),
+            )
         requeued = sum(len(lease.runs) for lease in reaped) - len(abandoned)
         if requeued:
             self._lease_requeued.inc(requeued)
@@ -483,6 +636,10 @@ class JobScheduler:
             return None
         self._lease_granted.inc()
         self._lease_runs_leased.inc(len(lease.runs))
+        self._journal_event(
+            EV_LEASE_GRANTED, lease=lease.lease_id, worker=lease.worker,
+            keys=list(lease.runs),
+        )
         return {
             "lease": lease.lease_id,
             "worker": lease.worker,
@@ -578,6 +735,9 @@ class JobScheduler:
         elif source == "store":
             self._counters["runs_store"].inc()
         job.settle_run(key, source, error)
+        self._journal_event(
+            EV_RUN_SETTLED, job=job.id, key=key, source=source, error=error
+        )
         self._emit(job, {
             "event": "run", "key": key, "source": source, "error": error,
             "completed": job.counters["completed"],
@@ -654,6 +814,8 @@ class JobScheduler:
             except asyncio.CancelledError:
                 pass
             self._reaper = None
+        if self.journal is not None:
+            self.journal.close()  # releases the single-writer flock
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, object]:
@@ -689,4 +851,13 @@ class JobScheduler:
             out["remote"] = 1
             out["lease_pending_runs"] = self.leases.pending_runs
             out["lease_active"] = self.leases.active_leases
+        if self.journal is not None:
+            out["journal_appends"] = int(self._journal_appends.value)
+            out["journal_replayed_events"] = int(
+                self._journal_replayed.value
+            )
+            out["journal_recovered_jobs"] = int(
+                self._journal_recovered.value
+            )
+            out["journal_requeued_runs"] = int(self._journal_requeued.value)
         return out

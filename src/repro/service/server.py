@@ -37,7 +37,11 @@ SIGINT triggers a graceful drain -- the listener closes, queued and
 active jobs finish, then the process exits.  With
 ``REPRO_SERVICE_ACCESS_LOG=<path>`` every request appends one JSONL
 line (ts, method, path, status, duration_ms, bytes_out, job id when a
-submission created/coalesced one).
+submission created/coalesced one).  With ``--journal PATH`` /
+``REPRO_SERVICE_JOURNAL`` the scheduler write-ahead-journals every job
+lifecycle event and replays the log before the listener binds, so a
+crashed coordinator restarts without losing accepted work (see
+:mod:`repro.service.journal`).
 
 Every knob has a ``REPRO_SERVICE_*`` environment default so ``repro
 serve`` deployments can be configured without flags.
@@ -60,6 +64,7 @@ from repro.engine.serialize import result_from_dict
 from repro.engine.spec import spec_to_dict
 from repro.engine.store import ResultStore, default_store_path
 from repro.service.jobs import InvalidRequest, SweepRequest
+from repro.service.journal import JobJournal
 from repro.service.leases import DEFAULT_LEASE_RUNS, DEFAULT_LEASE_TTL_S
 from repro.service.scheduler import (
     DEFAULT_MAX_ACTIVE,
@@ -254,6 +259,11 @@ class SimulationService:
             await asyncio.get_running_loop().run_in_executor(
                 None, len, store
             )
+        # journal replay happens before the listener binds: a client
+        # that can reach the service never observes a half-recovered
+        # job table (its poll either fails to connect or sees the
+        # recovered state)
+        await self.scheduler.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -742,6 +752,7 @@ def build_service(
     access_log: Optional[str] = None,
     remote: Optional[bool] = None,
     store_backend: Optional[str] = None,
+    journal: Optional[str] = None,
 ) -> SimulationService:
     """Assemble engine -> scheduler -> service with env-var defaults.
 
@@ -758,12 +769,20 @@ def build_service(
     the scheduler's in-memory record mirror still dedupes within the
     process lifetime), and ``store_backend`` picks its on-disk layout
     for new stores (else ``REPRO_STORE_BACKEND``, else single-file).
+    ``journal`` (or ``REPRO_SERVICE_JOURNAL=<path>``) attaches the
+    write-ahead job journal: accepted work survives coordinator
+    restarts, replayed against the store on startup
+    (``docs/distributed.md``, "Coordinator failure model").
     """
     store = None
     if not no_store:
         path = store_path if store_path is not None else default_store_path()
         if path:
             store = ResultStore(path, backend=store_backend)
+    journal_path = (
+        journal if journal is not None
+        else os.environ.get("REPRO_SERVICE_JOURNAL", "").strip() or None
+    )
     engine = ExperimentEngine(store=store, workers=workers)
     scheduler = JobScheduler(
         engine,
@@ -780,6 +799,7 @@ def build_service(
             else os.environ.get("REPRO_SERVICE_REMOTE", "").strip()
             in ("1", "true", "yes")
         ),
+        journal=JobJournal(journal_path) if journal_path else None,
     )
     return SimulationService(
         scheduler,

@@ -18,8 +18,12 @@ Everything that can go wrong is the scheduler's problem by design:
 * a settle rejected with **410 Gone** means the lease expired while
   the worker was computing: the rest of the batch is dropped (those
   keys are someone else's now) and the loop leases afresh;
-* transport errors back off and retry -- a restarting scheduler picks
-  the worker back up automatically.
+* transport errors back off under the shared
+  :class:`~repro.service.retry.RetryPolicy` -- capped exponential with
+  jitter derived from the worker's name, so a whole fleet waiting out
+  a coordinator restart re-leases staggered instead of stampeding the
+  fresh listener in lockstep (``--poll`` stays the floor; the cap
+  bounds the worst-case reconnect delay).
 
 The worker verifies each leased spec round-trips to the advertised run
 key before executing, so a corrupted payload is refused (settled as an
@@ -42,8 +46,9 @@ from typing import Callable, Dict, List, Optional
 from repro.engine.spec import RunKey, execute_spec, spec_from_dict
 from repro.engine.serialize import result_to_dict
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.retry import RetryPolicy
 
-__all__ = ["default_worker_name", "run_worker"]
+__all__ = ["default_worker_name", "run_worker", "transport_delay_s"]
 
 #: test/fault-injection hook: sleep this many seconds between leasing a
 #: batch and executing it (lets a harness SIGKILL the worker mid-lease
@@ -53,6 +58,16 @@ HOLD_ENV = "REPRO_WORKER_HOLD_S"
 
 def default_worker_name() -> str:
     return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def transport_delay_s(
+    policy: RetryPolicy, failures: int, poll_s: float, token: str
+) -> float:
+    """Sleep before the next attempt after *failures* consecutive
+    transport errors: the policy's jittered backoff, floored at the
+    idle poll interval (``--poll`` is a promise about minimum pacing,
+    not just idle pacing)."""
+    return max(poll_s, policy.backoff_s(failures, token=token))
 
 
 def _execute_one(key: str, spec_payload: Dict) -> Dict:
@@ -82,6 +97,7 @@ def run_worker(
     once: bool = False,
     hold_s: Optional[float] = None,
     log: Optional[Callable[[str], None]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> int:
     """Lease/execute/settle against *url* until the scheduler drains.
 
@@ -99,26 +115,40 @@ def run_worker(
         hold_s: fault-injection hook -- sleep this long between lease
             and execute (also ``REPRO_WORKER_HOLD_S``).
         log: line sink for progress (``None`` silences).
+        retry: transport backoff policy shared with the client layer
+            (default :class:`RetryPolicy`): consecutive failures back
+            off exponentially with per-worker jitter, reset on the
+            first successful lease.
 
     Returns:
         Process exit code: 0 after a clean drain/`once` exit.
     """
-    client = ServiceClient(url)
+    policy = retry if retry is not None else RetryPolicy()
     worker = name or default_worker_name()
+    client = ServiceClient(url, retry=policy)
     if hold_s is None:
         raw = os.environ.get(HOLD_ENV, "").strip()
         hold_s = float(raw) if raw else 0.0
     say = log or (lambda line: None)
     say(f"worker {worker} pulling from {url}")
+    failures = 0
     while True:
         try:
             grant = client.lease(worker=worker, max_runs=max_runs, ttl=ttl)
         except ServiceError as error:
             if error.status == 0:
-                # scheduler unreachable (restarting?): back off, retry
-                time.sleep(max(poll_s, 0.1))
+                # scheduler unreachable (restarting?): jittered backoff
+                # -- the fleet re-leases staggered, not in lockstep
+                failures += 1
+                delay = transport_delay_s(policy, failures, poll_s, worker)
+                say(
+                    f"worker {worker}: scheduler unreachable "
+                    f"({failures}x); retrying in {delay:.2f}s"
+                )
+                time.sleep(delay)
                 continue
             raise
+        failures = 0
         runs: List[Dict] = grant.get("runs") or []
         if not runs:
             if grant.get("draining") or once:
@@ -143,8 +173,12 @@ def run_worker(
                 # another worker now -- drop them and lease afresh
                 say(f"worker {worker}: lease {lease_id} expired, re-leasing")
             elif error.status == 0:
+                # the client layer already retried the settle under the
+                # policy; keep pacing the outer loop with the same
+                # jittered backoff until the coordinator is back
+                failures += 1
                 say(f"worker {worker}: scheduler unreachable mid-batch")
-                time.sleep(max(poll_s, 0.1))
+                time.sleep(transport_delay_s(policy, failures, poll_s, worker))
             else:
                 raise
         say(

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import socket
 import subprocess
 import sys
 import time
@@ -201,3 +202,55 @@ def stop_workers(*workers: subprocess.Popen) -> None:
             worker.kill()
     for worker in workers:
         worker.wait(10)
+
+
+# ----------------------------------------------------------------------
+# coordinator crash harness (test_journal.py): real `repro serve`
+# subprocesses that can be SIGKILLed and restarted on one journal/store
+def free_port() -> int:
+    """A TCP port that was free a moment ago -- good enough for a
+    coordinator that must come back on the *same* address after a
+    SIGKILL (ephemeral port 0 changes on every restart)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_coordinator(
+    port: int, *, store, journal=None, remote: bool = True,
+    store_backend: str = None, workers: int = 1,
+) -> subprocess.Popen:
+    """Start a real ``repro serve`` subprocess on a fixed *port*."""
+    cmd = [sys.executable, "-m", "repro", "serve",
+           "--host", "127.0.0.1", "--port", str(port),
+           "--store", str(store), "--workers", str(workers)]
+    if store_backend is not None:
+        cmd += ["--store-backend", store_backend]
+    if remote:
+        cmd.append("--remote")
+    if journal is not None:
+        cmd += ["--journal", str(journal)]
+    return subprocess.Popen(
+        cmd, env=subprocess_env(REPRO_STORE="", REPRO_SPANS=""),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+
+
+def wait_for_service(url: str, proc: subprocess.Popen = None,
+                     timeout_s: float = 30.0) -> None:
+    """Poll ``GET /healthz`` until the coordinator answers."""
+    import urllib.request
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc is not None and proc.poll() is not None:
+            raise AssertionError(
+                "coordinator died during startup: "
+                + proc.stderr.read().decode()
+            )
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=2):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise AssertionError(f"no service answering at {url}")
