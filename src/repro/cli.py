@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Thirteen commands cover the workflows a downstream user reaches for
+Fourteen commands cover the workflows a downstream user reaches for
 first:
 
 * ``list``    -- show the available L1D configurations and every
@@ -39,10 +39,16 @@ first:
   --journal``): events by type, skipped lines, and per-job recovery
   state -- what a restart on this journal would do.
 * ``metrics`` -- scrape a running service's ``GET /metrics`` exposition
-  (optionally grep-filtered) without needing curl.
-* ``spans``   -- summarise a phase-span log (``REPRO_SPANS``) or export
-  it as a Chrome ``trace_event`` JSON for Perfetto
+  (optionally grep-filtered, optionally repeating with ``--watch N``)
+  without needing curl.
+* ``spans``   -- summarise a phase-span log (``REPRO_SPANS``), export
+  it as a Chrome ``trace_event`` JSON for Perfetto, or ``spans merge
+  <log>... --chrome`` several process' logs (coordinator + workers)
+  into one timeline with per-process tracks
   (see ``docs/observability.md``).
+* ``top``     -- live refreshing fleet console over a running service:
+  queue depth, active jobs with ETAs, per-worker throughput and
+  liveness, lease ages (``--once`` for a single snapshot).
 """
 
 from __future__ import annotations
@@ -412,18 +418,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print only lines containing SUBSTRING (HELP/TYPE lines "
              "of matching families included)",
     )
+    metrics.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-scrape every SECONDS seconds (clear + redraw) until "
+             "Ctrl-C instead of printing once",
+    )
 
     spans = sub.add_parser(
         "spans",
         help="summarise a phase-span log or export it for Perfetto",
     )
     spans.add_argument(
-        "log", help="span JSONL written under REPRO_SPANS=<path>",
+        "log", nargs="+",
+        help="span JSONL written under REPRO_SPANS=<path>; 'merge "
+             "<log>...' joins several process' logs into one "
+             "--chrome timeline with per-process tracks",
     )
     spans.add_argument(
         "--chrome", default=None, metavar="OUT",
         help="write a Chrome trace_event JSON to OUT (load it in "
              "Perfetto / chrome://tracing) instead of the summary table",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal console over a running service: jobs, "
+             "workers, leases (see docs/observability.md)",
+    )
+    top.add_argument(
+        "--url", default=None,
+        help="service base URL (default: REPRO_SERVICE_URL or "
+             "http://127.0.0.1:8177)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2.0, floor 0.2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen clearing; exit 1 "
+             "if the service is unreachable)",
     )
     return parser
 
@@ -1126,33 +1160,97 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         args.url or os.environ.get("REPRO_SERVICE_URL")
         or "http://127.0.0.1:8177"
     )
+    client = ServiceClient(url)
+
+    def scrape() -> int:
+        try:
+            text = client.metrics()
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.grep:
+            needle = args.grep
+            for line in text.splitlines():
+                if needle in line:
+                    print(line)
+        else:
+            print(text, end="")
+        return 0
+
+    if args.watch is None:
+        return scrape()
+    # watch mode: clear + re-scrape until Ctrl-C; a transient scrape
+    # failure prints and keeps watching (the service may be restarting)
+    from repro.service.console import CLEAR
+
+    interval = max(0.2, args.watch)
     try:
-        text = ServiceClient(url).metrics()
-    except ServiceError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if args.grep:
-        needle = args.grep
-        # keep the HELP/TYPE preamble of any family whose name matches,
-        # so filtered output is still valid exposition
-        for line in text.splitlines():
-            if needle in line:
-                print(line)
-    else:
-        print(text, end="")
-    return 0
+        while True:
+            print(CLEAR, end="")
+            print(f"repro metrics --watch {interval:g} -- {url}")
+            scrape()
+            sys.stdout.flush()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_spans(args: argparse.Namespace) -> int:
-    from repro.telemetry.spans import export_chrome_trace, read_spans
+    from repro.telemetry.spans import (
+        export_chrome_trace,
+        merge_chrome_trace,
+        read_spans,
+    )
 
+    if args.log[0] == "merge":
+        # `spans merge <log>... --chrome OUT`: one Perfetto timeline
+        # with a track per (file, pid) -- coordinator next to workers
+        paths = args.log[1:]
+        if not paths:
+            print("error: spans merge needs at least one log",
+                  file=sys.stderr)
+            return 2
+        if not args.chrome:
+            print("error: spans merge requires --chrome OUT",
+                  file=sys.stderr)
+            return 2
+        try:
+            trace = merge_chrome_trace(paths)
+        except OSError as error:
+            print(f"error: cannot read span logs: {error}",
+                  file=sys.stderr)
+            return 2
+        if not trace["traceEvents"]:
+            print("error: no spans in any input log", file=sys.stderr)
+            return 1
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+        tracks = sum(
+            1 for event in trace["traceEvents"]
+            if event.get("ph") == "M"
+        )
+        print(
+            f"merged {len(paths)} logs -> {args.chrome}: "
+            f"{len(trace['traceEvents']) - tracks} trace events on "
+            f"{tracks} process tracks (open in Perfetto)"
+        )
+        return 0
+
+    if len(args.log) > 1:
+        print(
+            "error: multiple logs only make sense under "
+            "'spans merge <log>... --chrome OUT'",
+            file=sys.stderr,
+        )
+        return 2
+    log_path = args.log[0]
     try:
-        spans = read_spans(args.log)
+        spans = read_spans(log_path)
     except OSError as error:
-        print(f"error: cannot read {args.log}: {error}", file=sys.stderr)
+        print(f"error: cannot read {log_path}: {error}", file=sys.stderr)
         return 2
     if not spans:
-        print(f"{args.log}: no spans", file=sys.stderr)
+        print(f"{log_path}: no spans", file=sys.stderr)
         return 1
 
     if args.chrome:
@@ -1188,9 +1286,24 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     ]
     print(format_table(
         ["span", "cat", "count", "total s", "mean ms", "max ms"], rows,
-        title=f"{args.log}: {len(spans)} spans",
+        title=f"{log_path}: {len(spans)} spans",
     ))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.console import run_top
+
+    url = (
+        args.url or os.environ.get("REPRO_SERVICE_URL")
+        or "http://127.0.0.1:8177"
+    )
+    try:
+        return run_top(url, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1223,6 +1336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_metrics(args)
         if args.command == "spans":
             return _cmd_spans(args)
+        if args.command == "top":
+            return _cmd_top(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

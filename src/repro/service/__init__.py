@@ -40,6 +40,14 @@ standard library (``asyncio`` server, ``urllib`` client):
   while the shared :class:`~repro.service.retry.RetryPolicy` gives
   every client and worker capped, jittered, idempotent-only transport
   retries so fleets bridge a restart instead of dying on it.
+* :mod:`repro.service.registry` + :mod:`repro.service.console` --
+  fleet observability.  Workers heartbeat their identity and
+  throughput (piggybacked on lease/settle, or ``POST
+  /v1/workers/heartbeat`` while idle) into a TTL'd
+  :class:`~repro.service.registry.WorkerRegistry` served at ``GET
+  /v1/workers`` and aggregated into ``repro_fleet_*`` metrics; lease
+  grants carry a per-job trace context every worker span adopts; and
+  ``repro top`` renders the whole fleet as a live terminal console.
 
 See ``docs/service-api.md`` for the wire API and deployment knobs, and
 ``docs/distributed.md`` for the lease lifecycle and failure model
@@ -50,6 +58,7 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import InvalidRequest, Job, SweepRequest, job_id_for
 from repro.service.journal import JobJournal, load_journal, read_journal
 from repro.service.leases import Lease, LeaseManager
+from repro.service.registry import WorkerRegistry
 from repro.service.retry import RetryPolicy
 from repro.service.scheduler import Draining, JobScheduler, QueueFull
 from repro.service.server import BackgroundService, SimulationService
@@ -70,6 +79,7 @@ __all__ = [
     "ServiceError",
     "SimulationService",
     "SweepRequest",
+    "WorkerRegistry",
     "job_id_for",
     "load_journal",
     "read_journal",

@@ -193,18 +193,24 @@ class ServiceClient:
         worker: str = "anonymous",
         max_runs: Optional[int] = None,
         ttl: Optional[float] = None,
+        heartbeat: Optional[Dict] = None,
     ) -> Dict:
         """POST /v1/leases: pull a batch of pending runs (remote mode).
 
         Returns the grant payload -- ``{"lease", "ttl", "runs":
-        [{"key", "spec"}, ...], "draining"}``; ``runs`` is empty (and
-        ``lease`` null) when nothing is pending.
+        [{"key", "spec", "trace"}, ...], "draining"}``; ``runs`` is
+        empty (and ``lease`` null) when nothing is pending.  An
+        optional *heartbeat* object piggybacks worker telemetry on the
+        request (see :meth:`heartbeat`); servers that predate the
+        worker registry ignore it.
         """
         payload: Dict = {"worker": worker}
         if max_runs is not None:
             payload["max_runs"] = max_runs
         if ttl is not None:
             payload["ttl"] = ttl
+        if heartbeat is not None:
+            payload["heartbeat"] = heartbeat
         # not idempotent: a grant whose response is lost strands its
         # keys until the TTL reaper frees them, so the worker loop owns
         # the retry cadence (with its own jittered backoff)
@@ -212,24 +218,50 @@ class ServiceClient:
             "POST", "/v1/leases", payload, idempotent=False
         )
 
-    def settle(self, lease_id: str, runs) -> Dict:
+    def settle(
+        self, lease_id: str, runs, heartbeat: Optional[Dict] = None
+    ) -> Dict:
         """POST /v1/leases/{id}/settle: report leased outcomes.
 
         *runs* is a list of ``{"key", "result"}`` (success, the
-        serialized result payload) or ``{"key", "error"}`` entries.
+        serialized result payload) or ``{"key", "error"}`` entries,
+        optionally carrying a ``timing`` object ({"sim_s", "cycles",
+        "backend"}) for fleet attribution.  *heartbeat* piggybacks
+        worker telemetry like :meth:`lease`.
 
         Raises:
             ServiceError: status 410 when the lease expired and none of
                 the keys were still claimable -- drop the batch and
                 lease again.
         """
+        payload: Dict = {"runs": list(runs)}
+        if heartbeat is not None:
+            payload["heartbeat"] = heartbeat
         return self._request(
-            "POST", f"/v1/leases/{lease_id}/settle", {"runs": list(runs)}
+            "POST", f"/v1/leases/{lease_id}/settle", payload
         )
 
     def leases(self) -> Dict:
         """GET /v1/leases: active leases + pending-queue snapshot."""
         return self._request("GET", "/v1/leases")
+
+    def heartbeat(self, payload: Dict) -> Dict:
+        """POST /v1/workers/heartbeat: report liveness while idle
+        (remote mode).  *payload* carries ``name`` plus optional
+        telemetry (pid/host, cumulative runs/cycles/seconds, backend
+        split, arena hit rate)."""
+        return self._request("POST", "/v1/workers/heartbeat", payload)
+
+    def workers(self) -> Dict:
+        """GET /v1/workers: the fleet registry snapshot (remote mode)."""
+        return self._request("GET", "/v1/workers")
+
+    def jobs(self, limit: Optional[int] = None) -> Dict:
+        """GET /v1/jobs: recent job snapshots, newest first."""
+        path = "/v1/jobs"
+        if limit is not None:
+            path += "?" + urllib.parse.urlencode({"limit": int(limit)})
+        return self._request("GET", path)
 
     # ------------------------------------------------------------------
     def healthz(self) -> Dict:

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.backend import BACKENDS
 from repro.core.factory import l1d_config
 from repro.engine.spec import GPU_PROFILES, SCALE_PRESETS, RunSpec
+from repro.telemetry.tracectx import trace_id_for_job
 from repro.workloads.benchmarks import TRACE_PREFIX
 from repro.workloads.registry import REGISTRY, ensure_builtin_workloads
 from repro.workloads.suites import resolve_workloads
@@ -297,6 +298,11 @@ class _RunState:
     state: str = "queued"  # queued | done
     source: Optional[str] = None  # one of RUN_SOURCES once done
     error: Optional[str] = None
+    #: fleet attribution (remote mode): which worker settled the run
+    worker: Optional[str] = None
+    #: per-run execution timing echoed back in the settle entry
+    #: ({"sim_s", "cycles", "backend"}); None for local/store settles
+    timing: Optional[Dict] = None
 
 
 class Job:
@@ -315,6 +321,9 @@ class Job:
         for spec in specs:
             self.specs.setdefault(spec.key().digest, spec)
         self.id = job_id_for(self.specs)
+        #: fleet-wide correlation id, derived from the id so attaches,
+        #: retries and journal replays of this slice share one trace
+        self.trace_id = trace_id_for_job(self.id)
         self.state = "queued"
         self.error: Optional[str] = None
         self.created = time.time()
@@ -339,7 +348,12 @@ class Job:
         self.started = time.time()
 
     def settle_run(
-        self, key: str, source: str, error: Optional[str] = None
+        self,
+        key: str,
+        source: str,
+        error: Optional[str] = None,
+        worker: Optional[str] = None,
+        timing: Optional[Dict] = None,
     ) -> None:
         """Record one distinct run's settlement (idempotent per key)."""
         run = self.runs[key]
@@ -348,6 +362,8 @@ class Job:
         run.state = "done"
         run.source = source
         run.error = error
+        run.worker = worker
+        run.timing = timing
         self.counters["completed"] += 1
         if source == "store":
             self.counters["store_hits"] += 1
@@ -379,6 +395,7 @@ class Job:
         reference = self.finished if self.finished is not None else time.time()
         out: Dict = {
             "job": self.id,
+            "trace_id": self.trace_id,
             "state": self.state,
             "error": self.error,
             "request": self.request.as_dict(),
@@ -391,12 +408,18 @@ class Job:
             **self.counters,
         }
         if include_runs:
-            out["runs"] = [
-                {
+            out["runs"] = []
+            for key, run in self.runs.items():
+                entry = {
                     "key": key, "config": run.config,
                     "workload": run.workload, "state": run.state,
                     "source": run.source, "error": run.error,
                 }
-                for key, run in self.runs.items()
-            ]
+                # fleet attribution only when a worker settled the run,
+                # so local-mode snapshots keep their historical shape
+                if run.worker is not None:
+                    entry["worker"] = run.worker
+                if run.timing is not None:
+                    entry["timing"] = run.timing
+                out["runs"].append(entry)
         return out

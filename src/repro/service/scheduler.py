@@ -74,8 +74,14 @@ from repro.service.leases import (
     MAX_ATTEMPTS,
     LeaseManager,
 )
+from repro.service.registry import WorkerRegistry
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import record_span
+from repro.telemetry.tracectx import (
+    format_traceparent,
+    span_id_for_key,
+    trace_scope,
+)
 
 __all__ = [
     "DEFAULT_MAX_ACTIVE", "DEFAULT_MAX_QUEUE", "Draining", "JobScheduler",
@@ -152,6 +158,7 @@ class JobScheduler:
         self._engine_lock = threading.Lock()
         self.remote = bool(remote)
         self.leases = LeaseManager()
+        self.workers = WorkerRegistry()
         self._reap_interval = max(0.05, float(lease_reap_interval))
         self._reaper: Optional[asyncio.Task] = None
         # per-scheduler registry: concurrent services in one process
@@ -176,6 +183,7 @@ class JobScheduler:
         self._register_gauges()
         if self.remote:
             self._register_lease_metrics()
+            self._register_fleet_metrics()
         self.journal = journal
         #: recovery summary after :meth:`recover` (None until then)
         self.recovered: Optional[Dict[str, int]] = None
@@ -220,6 +228,43 @@ class JobScheduler:
         self.registry.gauge(
             "repro_lease_pending_runs", "Run keys awaiting a worker"
         ).set_function(lambda: self.leases.pending_runs)
+
+    def _register_fleet_metrics(self) -> None:
+        """Fleet-level aggregation over the worker registry, registered
+        only in remote mode so a local service's exposition is
+        unchanged (same gating as the lease families)."""
+        fleet_workers = self.registry.gauge(
+            "repro_fleet_workers",
+            "Registered workers by liveness state",
+            labelnames=("state",),
+        )
+        for state in ("live", "stale"):
+            fleet_workers.labels(state).set_function(
+                lambda state=state: self.workers.count(state)
+            )
+        self._fleet_expired = self.registry.counter(
+            "repro_fleet_workers_expired",
+            "Workers dropped from the registry after prolonged silence")
+        self._fleet_runs = self.registry.counter(
+            "repro_fleet_runs",
+            "Worker-settled runs by worker and outcome",
+            labelnames=("worker", "source"),
+        )
+        self._fleet_sim_cycles = self.registry.counter(
+            "repro_fleet_sim_cycles",
+            "Simulated cycles settled by the fleet (from settle timing)")
+        self._fleet_sim_seconds = self.registry.counter(
+            "repro_fleet_sim_seconds",
+            "Simulation wall-seconds settled by the fleet")
+        self._fleet_settle_seconds = self.registry.histogram(
+            "repro_fleet_settle_seconds",
+            "Per-run simulation wall time by worker (from settle timing)",
+            labelnames=("worker",),
+        )
+        self.registry.gauge(
+            "repro_fleet_cycles_per_second",
+            "Aggregate reported throughput of the live fleet",
+        ).set_function(self.workers.fleet_cycles_per_second)
 
     def _register_gauges(self) -> None:
         """Expose live scheduler state as read-at-scrape-time gauges."""
@@ -416,10 +461,11 @@ class JobScheduler:
             )
         self._counters["jobs_submitted"].inc()
         submitted_ns = time.time_ns()
-        record_span(
-            "submit", submitted_ns, submitted_ns, cat="job",
-            args={"job": job.id[:12], "total": len(job.specs)},
-        )
+        with trace_scope(job.trace_id):
+            record_span(
+                "submit", submitted_ns, submitted_ns, cat="job",
+                args={"job": job.id[:12], "total": len(job.specs)},
+            )
         self.jobs[job.id] = job
         # write-ahead: the acceptance (request + full canonical specs)
         # is durable before the 202 leaves the process, so a crash at
@@ -536,14 +582,15 @@ class JobScheduler:
         self._journal_event(
             EV_JOB_DONE, job=job.id, state=job.state, error=job.error
         )
-        record_span(
-            "job", job_started_ns, time.time_ns(), cat="job",
-            args={
-                "job": job.id[:12], "state": job.state,
-                "total": job.counters["total"],
-                "dispatched": len(dispatch), "attached": len(attached),
-            },
-        )
+        with trace_scope(job.trace_id):
+            record_span(
+                "job", job_started_ns, time.time_ns(), cat="job",
+                args={
+                    "job": job.id[:12], "state": job.state,
+                    "total": job.counters["total"],
+                    "dispatched": len(dispatch), "attached": len(attached),
+                },
+            )
         self._emit(job, {"event": "done", "job": job.snapshot()})
 
     # ------------------------------------------------------------------
@@ -594,7 +641,12 @@ class JobScheduler:
     def reap_expired(self) -> None:
         """Expire overdue leases: unsettled keys re-enter the pending
         queue, and keys past their attempt budget settle as errors so
-        their jobs finish instead of hanging on a poison run."""
+        their jobs finish instead of hanging on a poison run.  Workers
+        silent past the registry's expiry window are dropped on the
+        same tick."""
+        dead_workers = self.workers.expire()
+        if dead_workers and self.remote:
+            self._fleet_expired.inc(len(dead_workers))
         reaped, abandoned = self.leases.expire()
         if not reaped:
             return
@@ -636,6 +688,7 @@ class JobScheduler:
             return None
         self._lease_granted.inc()
         self._lease_runs_leased.inc(len(lease.runs))
+        self.workers.record_lease(lease.worker)
         self._journal_event(
             EV_LEASE_GRANTED, lease=lease.lease_id, worker=lease.worker,
             keys=list(lease.runs),
@@ -645,7 +698,16 @@ class JobScheduler:
             "worker": lease.worker,
             "ttl": lease.ttl,
             "runs": [
-                {"key": digest, "spec": spec_to_dict(payload[0])}
+                {
+                    "key": digest,
+                    "spec": spec_to_dict(payload[0]),
+                    # trace context: the owning job's trace id + this
+                    # run's span id, adopted by the worker for every
+                    # span it emits while executing the run
+                    "trace": format_traceparent(
+                        payload[1].trace_id, span_id_for_key(digest)
+                    ),
+                }
                 for digest, payload in lease.runs.items()
             ],
             "draining": self.draining,
@@ -661,11 +723,15 @@ class JobScheduler:
         Keys found in neither place are duplicates of a settlement that
         already happened (or runs now owned by another worker's lease)
         and are discarded.  Returns the accepted ``(key, spec, job,
-        result_payload, error)`` tuples plus bookkeeping for the HTTP
-        response; phase 2 persists off-loop and
+        result_payload, error, timing)`` tuples plus bookkeeping for
+        the HTTP response; phase 2 persists off-loop and
         :meth:`finish_settlements` completes the job bookkeeping.
         """
-        lease_known = self.leases.get(lease_id) is not None
+        held = self.leases.get(lease_id)
+        lease_known = held is not None
+        # captured before settling: accepting the last key retires the
+        # lease, and the fleet ledger still needs the worker's name
+        lease_worker = held.worker if held is not None else None
         accepted: List[tuple] = []
         duplicates = 0
         for run in runs:
@@ -677,22 +743,29 @@ class JobScheduler:
                 duplicates += 1
                 continue
             spec, job = payload
-            accepted.append(
-                (key, spec, job, run.get("result"), run.get("error"))
-            )
+            timing = run.get("timing")
+            accepted.append((
+                key, spec, job, run.get("result"), run.get("error"),
+                timing if isinstance(timing, dict) else None,
+            ))
         lease = self.leases.get(lease_id)
         return {
             "accepted": accepted,
             "duplicates": duplicates,
             "lease_known": lease_known,
+            "worker": lease_worker,
             "remaining": len(lease.runs) if lease is not None else 0,
         }
 
-    def finish_settlements(self, accepted: List[tuple]) -> None:
+    def finish_settlements(
+        self, accepted: List[tuple], worker: Optional[str] = None
+    ) -> None:
         """Settle phase 3 (event loop): mirror results, settle owning
         jobs and resolve in-flight futures -- the remote twin of
-        :meth:`_settle_from_engine`."""
-        for key, spec, job, result_payload, error in accepted:
+        :meth:`_settle_from_engine`.  *worker* attributes the runs in
+        the fleet ledger (``repro_fleet_runs``, ``GET /v1/workers``)."""
+        worker = worker or "unknown"
+        for key, spec, job, result_payload, error, timing in accepted:
             if error is None:
                 self._remember(key, {
                     "key": key,
@@ -703,10 +776,30 @@ class JobScheduler:
             else:
                 source = "error"
             self._lease_settled.labels(source).inc()
-            self._settle(job, key, source, error)
+            self._record_fleet_settle(worker, source, timing)
+            self._settle(job, key, source, error, worker=worker,
+                         timing=timing)
             future = self._inflight.pop(key, None)
             if future is not None and not future.done():
                 future.set_result((source, error))
+
+    def _record_fleet_settle(
+        self, worker: str, source: str, timing: Optional[dict]
+    ) -> None:
+        """Fold one accepted settle into the fleet ledger and metrics."""
+        self.workers.record_settle(worker, source)
+        self._fleet_runs.labels(worker, source).inc()
+        if not timing:
+            return
+        try:
+            sim_s = max(0.0, float(timing.get("sim_s", 0.0)))
+            cycles = max(0, int(timing.get("cycles", 0)))
+        except (TypeError, ValueError):
+            return
+        self._fleet_sim_seconds.inc(sim_s)
+        if cycles:
+            self._fleet_sim_cycles.inc(cycles)
+        self._fleet_settle_seconds.labels(worker).observe(sim_s)
 
     # ------------------------------------------------------------------
     def _settle_from_engine(self, job: Job, outcome: RunOutcome) -> None:
@@ -725,7 +818,13 @@ class JobScheduler:
             future.set_result((source, outcome.error))
 
     def _settle(
-        self, job: Job, key: str, source: str, error: Optional[str] = None
+        self,
+        job: Job,
+        key: str,
+        source: str,
+        error: Optional[str] = None,
+        worker: Optional[str] = None,
+        timing: Optional[dict] = None,
     ) -> None:
         """Record one run settlement and stream it to subscribers."""
         if source == "error":
@@ -734,7 +833,7 @@ class JobScheduler:
             self._counters["runs_fresh"].inc()
         elif source == "store":
             self._counters["runs_store"].inc()
-        job.settle_run(key, source, error)
+        job.settle_run(key, source, error, worker=worker, timing=timing)
         self._journal_event(
             EV_RUN_SETTLED, job=job.id, key=key, source=source, error=error
         )
@@ -851,6 +950,8 @@ class JobScheduler:
             out["remote"] = 1
             out["lease_pending_runs"] = self.leases.pending_runs
             out["lease_active"] = self.leases.active_leases
+            out["fleet_workers_live"] = self.workers.count("live")
+            out["fleet_workers_stale"] = self.workers.count("stale")
         if self.journal is not None:
             out["journal_appends"] = int(self._journal_appends.value)
             out["journal_replayed_events"] = int(

@@ -24,6 +24,14 @@ Endpoints (see ``docs/service-api.md`` for payload shapes):
   lease expired and none of the keys were still claimable.
 * ``GET /v1/leases``           -- (remote mode) operator snapshot of
   active leases and the pending-run queue.
+* ``GET /v1/workers``          -- (remote mode) the fleet registry:
+  every known worker with liveness state, settled-run counts and
+  reported throughput (``repro top`` renders this).
+* ``POST /v1/workers/heartbeat`` -- (remote mode) idle-worker
+  liveness; busy workers piggyback the same heartbeat object on their
+  lease/settle bodies instead.
+* ``GET /v1/jobs``             -- recent job snapshots, newest first
+  (``?limit=`` caps the list).
 * ``GET /healthz``             -- liveness (``draining`` while
   shutting down).
 * ``GET /metrics``             -- Prometheus text exposition (format
@@ -158,18 +166,19 @@ class _Responder:
 
     Sniffs the status code off the response head (the first write
     always starts with ``HTTP/1.1 ``), counts bytes out, and carries
-    the ``job`` id a submit handler attaches -- everything the access
-    log and the request metrics need, without threading a context
-    object through every handler.
+    the ``job`` id and ``trace_id`` a submit/settle handler attaches --
+    everything the access log and the request metrics need, without
+    threading a context object through every handler.
     """
 
-    __slots__ = ("_writer", "status", "bytes_out", "job")
+    __slots__ = ("_writer", "status", "bytes_out", "job", "trace_id")
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self._writer = writer
         self.status: Optional[int] = None
         self.bytes_out = 0
         self.job: Optional[str] = None
+        self.trace_id: Optional[str] = None
 
     def write(self, data: bytes) -> None:
         if self.status is None and data.startswith(b"HTTP/1.1 "):
@@ -187,7 +196,8 @@ class _Responder:
 def _route_label(path: str) -> str:
     """Collapse a request path into a bounded metrics label."""
     if path in ("/healthz", "/metrics", "/v1/sweeps", "/v1/results",
-                "/v1/leases"):
+                "/v1/leases", "/v1/workers", "/v1/workers/heartbeat",
+                "/v1/jobs"):
         return path
     if path.startswith("/v1/leases/"):
         return "/v1/leases/{id}/settle"
@@ -361,6 +371,7 @@ class SimulationService:
             "duration_ms": round(duration_s * 1000.0, 3),
             "bytes_out": responder.bytes_out,
             "job": responder.job,
+            "trace_id": responder.trace_id,
         }, sort_keys=True)
         with contextlib.suppress(OSError):
             self._access_handle.write(line + "\n")
@@ -470,6 +481,22 @@ class SimulationService:
             lease_id = path[len("/v1/leases/"): -len("/settle")].rstrip("/")
             await self._handle_settle(lease_id, body, writer)
             return
+        if path == "/v1/workers":
+            if method != "GET":
+                raise _HTTPError(405, "GET only")
+            self._require_remote()
+            writer.write(_json_response(
+                200, self.scheduler.workers.snapshot()
+            ))
+            return
+        if path == "/v1/workers/heartbeat":
+            if method != "POST":
+                raise _HTTPError(405, "POST only")
+            self._handle_worker_heartbeat(body, writer)
+            return
+        if path == "/v1/jobs" and method == "GET":
+            self._handle_jobs_list(url.query, writer)
+            return
         if path == "/v1/results" and method == "GET":
             key = parse_qs(url.query).get("key", [""])[0]
             if not key:
@@ -525,10 +552,12 @@ class SimulationService:
         except Draining as error:
             raise _HTTPError(503, str(error))
         writer.job = job.id
+        writer.trace_id = job.trace_id
         writer.write(_json_response(
             202,
             {
                 "job": job.id,
+                "trace_id": job.trace_id,
                 "created": created,
                 "state": job.state,
                 "total": job.counters["total"],
@@ -537,6 +566,25 @@ class SimulationService:
             },
             extra=(("Location", f"/v1/jobs/{job.id}"),),
         ))
+
+    def _handle_jobs_list(self, query: str, writer) -> None:
+        """GET /v1/jobs: recent job snapshots (no per-run detail),
+        newest first -- the job-history feed ``repro top`` renders."""
+        raw = parse_qs(query).get("limit", ["50"])[0]
+        try:
+            limit = max(1, min(500, int(raw)))
+        except ValueError:
+            raise _HTTPError(400, "limit must be an integer")
+        jobs = sorted(
+            self.scheduler.jobs.values(),
+            key=lambda job: job.created,
+            reverse=True,
+        )
+        writer.write(_json_response(200, {
+            "jobs": [job.snapshot(include_runs=False)
+                     for job in jobs[:limit]],
+            "known": len(jobs),
+        }))
 
     # ------------------------------------------------------------------
     # remote mode: the worker-pull lease endpoints
@@ -568,6 +616,10 @@ class SimulationService:
             ttl = float(payload.get("ttl", DEFAULT_LEASE_TTL_S))
         except (TypeError, ValueError):
             raise _HTTPError(400, "max_runs/ttl must be numbers")
+        # the lease itself is the liveness signal; a piggybacked
+        # heartbeat additionally updates the worker's telemetry
+        if self.scheduler.workers.heartbeat(payload.get("heartbeat")) is None:
+            self.scheduler.workers.touch(worker)
         grant = self.scheduler.grant_lease(worker, max_runs=max_runs, ttl=ttl)
         if grant is None:
             writer.write(_json_response(200, {
@@ -624,6 +676,8 @@ class SimulationService:
         except Exception as error:
             raise _HTTPError(400, f"malformed result payload: {error}")
 
+        heartbeat = payload.get("heartbeat")
+        self.scheduler.workers.heartbeat(heartbeat)
         claim = self.scheduler.claim_settlements(lease_id, runs)
         accepted = claim["accepted"]
         if not claim["lease_known"] and not accepted:
@@ -632,6 +686,10 @@ class SimulationService:
                 f"lease {lease_id} expired and its runs were re-leased; "
                 "drop the batch and lease again",
             )
+        if accepted:
+            # correlate this settle's access-log line with the job it
+            # advanced (the first accepted run's owning job)
+            writer.trace_id = accepted[0][2].trace_id
         store = self.scheduler.engine.store
         if store is not None and accepted:
 
@@ -640,7 +698,9 @@ class SimulationService:
                 # are single-threaded by design
                 with self.scheduler._engine_lock:
                     with store.batched(flush_every=len(accepted)):
-                        for key, spec, _job, result_payload, error in accepted:
+                        for key, spec, _job, result_payload, error, _ in (
+                            accepted
+                        ):
                             if error is not None:
                                 continue
                             store.put_record(key, {
@@ -651,12 +711,35 @@ class SimulationService:
                             })
 
             await loop.run_in_executor(None, persist)
-        self.scheduler.finish_settlements(accepted)
+        worker = claim.get("worker")
+        if not worker and isinstance(heartbeat, dict):
+            worker = str(heartbeat.get("name") or "")[:120] or None
+        self.scheduler.finish_settlements(accepted, worker=worker)
         writer.write(_json_response(200, {
             "settled": len(accepted),
             "duplicates": claim["duplicates"],
             "remaining": claim["remaining"],
             "draining": self.scheduler.draining,
+        }))
+
+    def _handle_worker_heartbeat(self, body: bytes, writer) -> None:
+        """POST /v1/workers/heartbeat: idle-worker liveness.
+
+        Busy workers piggyback the same object on lease/settle bodies;
+        this endpoint keeps a worker with nothing leased visible in
+        ``GET /v1/workers`` between polls.
+        """
+        self._require_remote()
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HTTPError(400, "request body is not valid JSON")
+        if self.scheduler.workers.heartbeat(payload) is None:
+            raise _HTTPError(
+                400, 'heartbeat must be an object with a "name"'
+            )
+        writer.write(_json_response(200, {
+            "workers": len(self.scheduler.workers),
         }))
 
     async def _handle_events(

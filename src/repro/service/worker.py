@@ -43,10 +43,13 @@ import time
 import traceback
 from typing import Callable, Dict, List, Optional
 
+from repro.backend import resolve_backend
 from repro.engine.spec import RunKey, execute_spec, spec_from_dict
 from repro.engine.serialize import result_to_dict
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.retry import RetryPolicy
+from repro.telemetry.tracectx import parse_traceparent, trace_scope
+from repro.workloads.arena import arena_cache_stats
 
 __all__ = ["default_worker_name", "run_worker", "transport_delay_s"]
 
@@ -70,22 +73,93 @@ def transport_delay_s(
     return max(poll_s, policy.backoff_s(failures, token=token))
 
 
-def _execute_one(key: str, spec_payload: Dict) -> Dict:
+def _execute_one(key: str, run: Dict) -> Dict:
     """Execute one leased run; returns its settle entry (never raises:
     failures settle as errors so the scheduler's ledger always closes).
+
+    The entry carries a ``timing`` object ({"sim_s", "cycles",
+    "backend"}) so the coordinator can attribute job wall-clock per
+    worker, and the run's ``trace`` context (stamped by the coordinator
+    on the grant) is adopted for every span the execution emits --
+    `simulate`/`arena`/`store_put` lines in this worker's ``REPRO_SPANS``
+    log carry the submitting job's trace id.
     """
+    trace = parse_traceparent(run.get("trace"))
+    started = time.perf_counter()
+    backend = "?"
     try:
-        spec = spec_from_dict(spec_payload)
+        spec = spec_from_dict(run["spec"])
         digest = RunKey.for_spec(spec).digest
         if digest != key:
             raise ValueError(
                 f"leased spec hashes to {digest[:12]}, not the "
                 f"advertised key {key[:12]} -- refusing to execute"
             )
-        result = execute_spec(spec)
+        backend = resolve_backend(spec.backend or None)
+        with trace_scope(trace[0] if trace else None):
+            result = execute_spec(spec)
     except Exception:
-        return {"key": key, "error": traceback.format_exc(limit=20)}
-    return {"key": key, "result": result_to_dict(result)}
+        return {
+            "key": key,
+            "error": traceback.format_exc(limit=20),
+            "timing": {
+                "sim_s": time.perf_counter() - started,
+                "cycles": 0,
+                "backend": backend,
+            },
+        }
+    return {
+        "key": key,
+        "result": result_to_dict(result),
+        "timing": {
+            "sim_s": time.perf_counter() - started,
+            "cycles": result.cycles,
+            "backend": backend,
+        },
+    }
+
+
+class _WorkerStats:
+    """Cumulative counters one worker reports in its heartbeats."""
+
+    def __init__(self, worker: str):
+        self.worker = worker
+        self.runs = 0
+        self.errors = 0
+        self.sim_cycles = 0
+        self.sim_seconds = 0.0
+        self.backends: Dict[str, int] = {}
+
+    def account(self, outcome: Dict) -> None:
+        timing = outcome.get("timing") or {}
+        self.runs += 1
+        if "error" in outcome:
+            self.errors += 1
+        self.sim_cycles += int(timing.get("cycles", 0))
+        self.sim_seconds += float(timing.get("sim_s", 0.0))
+        backend = str(timing.get("backend", "?"))
+        self.backends[backend] = self.backends.get(backend, 0) + 1
+
+    def heartbeat(self) -> Dict:
+        arena = arena_cache_stats()
+        probes = arena["hits"] + arena["misses"]
+        return {
+            "name": self.worker,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "runs": self.runs,
+            "errors": self.errors,
+            "sim_cycles": self.sim_cycles,
+            "sim_seconds": self.sim_seconds,
+            "cycles_per_s": (
+                self.sim_cycles / self.sim_seconds
+                if self.sim_seconds > 0 else 0.0
+            ),
+            "backends": dict(self.backends),
+            "arena_hit_rate": (
+                arena["hits"] / probes if probes else None
+            ),
+        }
 
 
 def run_worker(
@@ -126,6 +200,7 @@ def run_worker(
     policy = retry if retry is not None else RetryPolicy()
     worker = name or default_worker_name()
     client = ServiceClient(url, retry=policy)
+    stats = _WorkerStats(worker)
     if hold_s is None:
         raw = os.environ.get(HOLD_ENV, "").strip()
         hold_s = float(raw) if raw else 0.0
@@ -134,7 +209,10 @@ def run_worker(
     failures = 0
     while True:
         try:
-            grant = client.lease(worker=worker, max_runs=max_runs, ttl=ttl)
+            grant = client.lease(
+                worker=worker, max_runs=max_runs, ttl=ttl,
+                heartbeat=stats.heartbeat(),
+            )
         except ServiceError as error:
             if error.status == 0:
                 # scheduler unreachable (restarting?): jittered backoff
@@ -154,6 +232,13 @@ def run_worker(
             if grant.get("draining") or once:
                 say(f"worker {worker}: queue drained, exiting")
                 return 0
+            # idle heartbeat: a worker with nothing leased still reads
+            # as alive in GET /v1/workers.  Best-effort -- an older
+            # coordinator without the endpoint must not kill the loop.
+            try:
+                client.heartbeat(stats.heartbeat())
+            except ServiceError:
+                pass
             time.sleep(max(poll_s, 0.05))
             continue
         if hold_s > 0:
@@ -164,8 +249,11 @@ def run_worker(
             # settle one by one: each settle refreshes the lease TTL, so
             # a long batch stays alive as long as runs keep finishing
             for run in runs:
-                outcome = _execute_one(run["key"], run["spec"])
-                client.settle(lease_id, [outcome])
+                outcome = _execute_one(run["key"], run)
+                stats.account(outcome)
+                client.settle(
+                    lease_id, [outcome], heartbeat=stats.heartbeat()
+                )
                 settled += 1
         except ServiceError as error:
             if error.status == 410:

@@ -30,11 +30,20 @@ from repro.telemetry.spans import (
     disable_spans,
     enable_spans,
     export_chrome_trace,
+    merge_chrome_trace,
     read_spans,
     record_span,
     span,
     span_log_path,
     spans_enabled,
+)
+from repro.telemetry.tracectx import (
+    current_trace_id,
+    format_traceparent,
+    parse_traceparent,
+    span_id_for_key,
+    trace_id_for_job,
+    trace_scope,
 )
 from repro.telemetry.timeline import (
     COLUMNS,
@@ -53,15 +62,22 @@ __all__ = [
     "REGISTRY",
     "Timeline",
     "TimelineSampler",
+    "current_trace_id",
     "disable_spans",
     "enable_spans",
     "export_chrome_trace",
+    "format_traceparent",
+    "merge_chrome_trace",
+    "parse_traceparent",
     "read_spans",
     "record_span",
     "render_exposition",
     "span",
+    "span_id_for_key",
     "span_log_path",
     "spans_enabled",
     "timeline_from_payload",
     "timeline_to_payload",
+    "trace_id_for_job",
+    "trace_scope",
 ]

@@ -39,12 +39,14 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, TextIO
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO
+
+from repro.telemetry.tracectx import current_trace_id
 
 __all__ = [
     "SPAN_SCHEMA_VERSION", "disable_spans", "enable_spans",
-    "export_chrome_trace", "read_spans", "record_span", "span",
-    "spans_enabled", "span_log_path",
+    "export_chrome_trace", "merge_chrome_trace", "read_spans",
+    "record_span", "span", "spans_enabled", "span_log_path",
 ]
 
 SPAN_SCHEMA_VERSION = 1
@@ -140,20 +142,20 @@ def record_span(
     handle = _writer(path)
     if handle is None:
         return
-    line = json.dumps(
-        {
-            "v": SPAN_SCHEMA_VERSION,
-            "name": name,
-            "cat": cat,
-            "ts_us": start_ns // 1000,
-            "dur_us": max(0, end_ns - start_ns) // 1000,
-            "pid": os.getpid(),
-            "tid": tid if tid is not None else threading.get_ident(),
-            "args": args or {},
-        },
-        separators=(",", ":"),
-        sort_keys=True,
-    )
+    record = {
+        "v": SPAN_SCHEMA_VERSION,
+        "name": name,
+        "cat": cat,
+        "ts_us": start_ns // 1000,
+        "dur_us": max(0, end_ns - start_ns) // 1000,
+        "pid": os.getpid(),
+        "tid": tid if tid is not None else threading.get_ident(),
+        "args": args or {},
+    }
+    trace_id = current_trace_id()
+    if trace_id is not None:
+        record["trace_id"] = trace_id
+    line = json.dumps(record, separators=(",", ":"), sort_keys=True)
     try:
         handle.write(line + "\n")
         handle.flush()
@@ -208,17 +210,58 @@ def export_chrome_trace(spans: List[Dict]) -> Dict:
     the earliest span, so Perfetto opens at t=0 instead of the epoch.
     """
     base = min((s.get("ts_us", 0) for s in spans), default=0)
-    events = [
-        {
-            "name": s.get("name", "?"),
-            "cat": s.get("cat", "run"),
-            "ph": "X",
-            "ts": s.get("ts_us", 0) - base,
-            "dur": s.get("dur_us", 0),
-            "pid": s.get("pid", 0),
-            "tid": s.get("tid", 0),
-            "args": s.get("args", {}),
-        }
-        for s in spans
-    ]
+    events = [_chrome_event(s, base) for s in spans]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _chrome_event(record: Dict, base: int, pid: Optional[int] = None) -> Dict:
+    args = dict(record.get("args", {}))
+    if "trace_id" in record:
+        args["trace_id"] = record["trace_id"]
+    return {
+        "name": record.get("name", "?"),
+        "cat": record.get("cat", "run"),
+        "ph": "X",
+        "ts": record.get("ts_us", 0) - base,
+        "dur": record.get("dur_us", 0),
+        "pid": pid if pid is not None else record.get("pid", 0),
+        "tid": record.get("tid", 0),
+        "args": args,
+    }
+
+
+def merge_chrome_trace(paths: Sequence[str]) -> Dict:
+    """Join several span logs into one Chrome ``trace_event`` document
+    with **one process track per (log, pid)**.
+
+    Coordinator and worker logs come from different hosts, so their raw
+    pids can collide; each distinct ``(source file, pid)`` pair is
+    remapped to a fresh synthetic pid and labelled with a Perfetto
+    ``process_name`` metadata event (``"coordinator.jsonl:4242"``), so
+    the merged view always lays the fleet out as separate tracks.
+    Timestamps are normalised to the earliest span across *all* logs
+    (they are wall-clock microseconds, so cross-process ordering holds
+    as far as the hosts' clocks agree).
+    """
+    sources = [(path, read_spans(path)) for path in paths]
+    base = min(
+        (s.get("ts_us", 0) for _, spans in sources for s in spans),
+        default=0,
+    )
+    track_pids: Dict = {}
+    events: List[Dict] = []
+    for path, spans in sources:
+        label = os.path.basename(path)
+        for record in spans:
+            track = (path, record.get("pid", 0))
+            if track not in track_pids:
+                track_pids[track] = len(track_pids) + 1
+                events.append({
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": track_pids[track],
+                    "tid": 0,
+                    "args": {"name": f"{label}:{record.get('pid', 0)}"},
+                })
+            events.append(_chrome_event(record, base, pid=track_pids[track]))
     return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -176,9 +176,14 @@ def assert_crash_consistent(store: ResultStore) -> int:
 def spawn_worker(
     url: str, name: str, *,
     ttl: float = None, max_runs: int = None, poll: float = 0.1,
-    hold_s: float = None, once: bool = False,
+    hold_s: float = None, once: bool = False, spans=None,
 ) -> subprocess.Popen:
-    """Start a real ``repro worker`` subprocess against *url*."""
+    """Start a real ``repro worker`` subprocess against *url*.
+
+    *spans* (a path) gives the worker its own ``REPRO_SPANS`` log --
+    the fleet-observability tests merge these per-worker logs into one
+    Chrome trace.
+    """
     cmd = [sys.executable, "-m", "repro", "worker",
            "--url", url, "--name", name, "--poll", str(poll)]
     if ttl is not None:
@@ -187,7 +192,8 @@ def spawn_worker(
         cmd += ["--max-runs", str(max_runs)]
     if once:
         cmd.append("--once")
-    extra = {"REPRO_STORE": "", "REPRO_SPANS": ""}
+    extra = {"REPRO_STORE": "",
+             "REPRO_SPANS": "" if spans is None else str(spans)}
     if hold_s is not None:
         extra["REPRO_WORKER_HOLD_S"] = hold_s
     return subprocess.Popen(

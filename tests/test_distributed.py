@@ -209,7 +209,7 @@ class TestWireFormat:
 
     def test_worker_refuses_mis_keyed_spec(self):
         spec = smoke_spec()
-        outcome = _execute_one("f" * 64, spec_to_dict(spec))
+        outcome = _execute_one("f" * 64, {"spec": spec_to_dict(spec)})
         assert outcome["key"] == "f" * 64
         assert "refusing to execute" in outcome["error"]
 
@@ -217,7 +217,7 @@ class TestWireFormat:
         payload = spec_to_dict(smoke_spec())
         payload["workload"] = "NO-SUCH-WORKLOAD"
         digest = RunKey.for_spec(spec_from_dict(payload)).digest
-        outcome = _execute_one(digest, payload)
+        outcome = _execute_one(digest, {"spec": payload})
         assert "error" in outcome and "result" not in outcome
 
 
